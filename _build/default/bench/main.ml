@@ -1,0 +1,139 @@
+(* SynDCIM benchmark harness.
+
+   Regenerates every table and figure of the paper's evaluation section
+   (printed as text tables/plots on stdout), followed by a Bechamel
+   microbenchmark section timing the compiler kernels each experiment
+   leans on.
+
+   Environment:
+     SYNDCIM_BENCH_QUICK=1   smaller dimensions (CI-friendly)
+
+   Run with: dune exec bench/main.exe *)
+
+let quick =
+  match Sys.getenv_opt "SYNDCIM_BENCH_QUICK" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let banner title =
+  let bar = String.make 72 '=' in
+  Printf.printf "\n%s\n%s\n%s\n%!" bar title bar
+
+let time_section name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s finished in %.1f s]\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+let () =
+  let lib = Library.n40 () in
+  let scl = Scl.create lib in
+
+  banner "Table I — comparison with emerging CIM compilers";
+  ignore (time_section "table1" (fun () -> Table1.run lib scl));
+
+  banner
+    "Figure 7 — post-layout energy efficiency vs precision and dimension";
+  let dims = if quick then [ 32; 64 ] else [ 32; 64; 128; 256 ] in
+  time_section "fig7" (fun () -> Fig7.print (Fig7.run ~dims lib scl));
+
+  banner "Figure 8 — Pareto frontier of generated designs (H=W=64, MCR=2)";
+  let fig8 = time_section "fig8" (fun () -> Fig8.run lib scl) in
+  Fig8.print fig8;
+
+  banner "Figure 9 — shmoo plot of the compiled test macro";
+  time_section "fig9" (fun () ->
+      let a = Compiler.compile lib scl Spec.fig8 in
+      Fig9.print (Fig9.run lib a));
+
+  banner "Table II — comparison with state-of-the-art DCIM macros";
+  time_section "table2" (fun () -> Table2.print (Table2.measure lib scl));
+
+  banner "Ablation A — adder-tree topologies";
+  let heights = if quick then [ 16; 32; 64 ] else [ 16; 32; 64; 128 ] in
+  time_section "ablation A" (fun () ->
+      Ablation.print_adder_trees (Ablation.adder_trees ~heights scl));
+
+  banner "Ablation B — search techniques vs target frequency";
+  time_section "ablation B" (fun () ->
+      Ablation.print_search_ladder
+        (Ablation.search_ladder
+           ~freqs_mhz:
+             (if quick then [ 500.; 800. ] else [ 300.; 500.; 800.; 1100. ])
+           lib scl Spec.fig8));
+
+  banner "Ablation C — SDP vs scattered placement";
+  time_section "ablation C" (fun () ->
+      Ablation.print_placements
+        (Ablation.placements
+           ~dims:(if quick then [ 32; 64 ] else [ 32; 64; 128 ])
+           lib));
+
+  banner "Ablation D — memory-compute ratio";
+  time_section "ablation D" (fun () ->
+      Ablation.print_mcr_sweep (Ablation.mcr_sweep lib));
+
+  (* ---------------- Bechamel kernels ---------------- *)
+  banner "Bechamel — compiler kernel microbenchmarks";
+  let open Bechamel in
+  let macro16 =
+    Macro_rtl.build lib
+      (Macro_rtl.default ~rows:16 ~cols:16 ~mcr:1 ~input_prec:Precision.int8
+         ~weight_prec:Precision.int8)
+  in
+  let spec16 = { Spec.fig8 with Spec.rows = 16; cols = 16; mcr = 1 } in
+  let tests =
+    [
+      (* Table I leans on end-to-end netlist construction *)
+      Test.make ~name:"table1:build-macro-16x16"
+        (Staged.stage (fun () ->
+             ignore
+               (Macro_rtl.build lib
+                  (Macro_rtl.default ~rows:16 ~cols:16 ~mcr:1
+                     ~input_prec:Precision.int8
+                     ~weight_prec:Precision.int8))));
+      (* Fig 7 leans on streamed power simulation *)
+      Test.make ~name:"fig7:power-sim-16x16"
+        (Staged.stage (fun () ->
+             ignore
+               (Design_point.measure_power lib macro16 ~freq_hz:5e8 ~vdd:0.9
+                  ~input_density:0.125 ~weight_density:0.5 ~macs:2)));
+      (* Fig 8 leans on candidate evaluation (build + STA + sizing) *)
+      Test.make ~name:"fig8:design-point-eval-16x16"
+        (Staged.stage (fun () ->
+             ignore
+               (Design_point.evaluate lib spec16 (Spec.initial_config spec16))));
+      (* Fig 9 leans on the voltage-frequency grid *)
+      Test.make ~name:"fig9:shmoo-grid"
+        (Staged.stage (fun () ->
+             ignore (Fig9.shmoo lib.Library.node ~crit_ps:950.0)));
+      (* Table II leans on static timing of a signed-off macro *)
+      Test.make ~name:"table2:sta-16x16"
+        (Staged.stage (fun () ->
+             ignore (Sta.analyze macro16.Macro_rtl.design lib)));
+      (* the ablations lean on placement + routing *)
+      Test.make ~name:"ablation:sdp-place-route-16x16"
+        (Staged.stage (fun () ->
+             ignore (Route.build (Floorplan.sdp lib macro16))));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "  %-36s %12.1f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "  %-36s (no estimate)\n%!" name)
+        results)
+    tests;
+  Printf.printf "\nbench: all experiments regenerated.\n"

@@ -1,0 +1,176 @@
+(* SynDCIM command-line driver.
+
+   syndcim compile  — spec to signed-off macro, with artifact export
+   syndcim exp      — reproduce the paper's tables and figures
+   syndcim library  — dump the synthetic cell library views (LIB / LEF) *)
+
+open Cmdliner
+
+let precision_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "int1" -> Ok Precision.int1
+    | "int2" -> Ok Precision.int2
+    | "int4" -> Ok Precision.int4
+    | "int8" -> Ok Precision.int8
+    | "fp4" -> Ok Precision.fp4
+    | "fp8" -> Ok Precision.fp8
+    | "bf16" -> Ok Precision.bf16
+    | other -> Error (`Msg (Printf.sprintf "unknown precision %S" other))
+  in
+  let print fmt p = Format.pp_print_string fmt (Precision.name p) in
+  Arg.conv (parse, print)
+
+let preference_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "power" -> Ok Spec.Prefer_power
+    | "area" -> Ok Spec.Prefer_area
+    | "performance" | "perf" -> Ok Spec.Prefer_performance
+    | "balanced" -> Ok Spec.Balanced
+    | other -> Error (`Msg (Printf.sprintf "unknown preference %S" other))
+  in
+  let print fmt p = Format.pp_print_string fmt (Spec.preference_name p) in
+  Arg.conv (parse, print)
+
+(* ---------------- compile ---------------- *)
+
+let compile_cmd =
+  let rows = Arg.(value & opt int 64 & info [ "rows"; "H" ] ~doc:"Array height H.") in
+  let cols = Arg.(value & opt int 64 & info [ "cols"; "W" ] ~doc:"Array width W.") in
+  let mcr = Arg.(value & opt int 2 & info [ "mcr" ] ~doc:"Memory-compute ratio.") in
+  let iprec =
+    Arg.(value & opt precision_conv Precision.int8
+         & info [ "input-precision" ] ~doc:"Input format (int1..8, fp4, fp8, bf16).")
+  in
+  let wprec =
+    Arg.(value & opt precision_conv Precision.int8
+         & info [ "weight-precision" ] ~doc:"Weight format.")
+  in
+  let freq = Arg.(value & opt float 800.0 & info [ "freq-mhz" ] ~doc:"MAC clock target (MHz).") in
+  let wupd = Arg.(value & opt float 800.0 & info [ "wupd-mhz" ] ~doc:"Weight-update clock target (MHz).") in
+  let vdd = Arg.(value & opt float 0.9 & info [ "vdd" ] ~doc:"Operating supply (V).") in
+  let prefer =
+    Arg.(value & opt preference_conv Spec.Balanced
+         & info [ "prefer" ] ~doc:"PPA preference: power, area, performance, balanced.")
+  in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "out-dir" ] ~doc:"Write netlist.v, placement.def, macro.lib, macro.lef and report.txt here.") in
+  let cache =
+    Arg.(value & opt (some string) None
+         & info [ "scl-cache" ]
+             ~doc:"CSV file for the characterized subcircuit-library LUT;                    loaded if present, saved after the run.")
+  in
+  let run rows cols mcr iprec wprec freq wupd vdd prefer out cache =
+    let lib = Library.n40 () in
+    let scl = Scl.create lib in
+    (match cache with
+    | Some path when Sys.file_exists path ->
+        let n = Persist.load scl path in
+        Printf.printf "loaded %d characterized subcircuits from %s\n" n path
+    | Some _ | None -> ());
+    let spec =
+      {
+        Spec.rows; cols; mcr;
+        input_prec = iprec;
+        weight_prec = wprec;
+        mac_freq_hz = freq *. 1e6;
+        weight_update_freq_hz = wupd *. 1e6;
+        vdd;
+        preference = prefer;
+      }
+    in
+    let a = Compiler.compile lib scl spec in
+    print_string (Report.to_string lib a);
+    (match out with
+    | None -> ()
+    | Some dir ->
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        Verilog.write_file (Filename.concat dir "netlist.v")
+          a.Compiler.macro.Macro_rtl.design;
+        Def_writer.write_file lib (Filename.concat dir "placement.def")
+          a.Compiler.signoff.Post_layout.placement;
+        let dump name text =
+          let oc = open_out (Filename.concat dir name) in
+          output_string oc text;
+          close_out oc
+        in
+        dump "macro.lib" (Liberty.lib_text lib);
+        dump "macro.lef" (Liberty.lef_text lib);
+        dump "report.txt" (Report.to_string lib a);
+        Printf.printf "artifacts written to %s/\n" dir);
+    (match cache with
+    | Some path ->
+        Persist.save scl path;
+        Printf.printf "subcircuit LUT (%d entries) saved to %s\n"
+          (Persist.entries scl) path
+    | None -> ());
+    if a.Compiler.timing_closed then 0 else 1
+  in
+  let term =
+    Term.(const run $ rows $ cols $ mcr $ iprec $ wprec $ freq $ wupd $ vdd
+          $ prefer $ out $ cache)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a DCIM macro from a specification")
+    term
+
+(* ---------------- experiments ---------------- *)
+
+let exp_cmd =
+  let which =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"EXPERIMENT"
+             ~doc:"table1, fig7, fig8, fig9, table2, ablations (default: all)")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Smaller dimensions, faster run.")
+  in
+  let run which quick =
+    let lib = Library.n40 () in
+    let scl = Scl.create lib in
+    let want name = match which with None -> true | Some w -> w = name in
+    if want "table1" then ignore (Table1.run lib scl);
+    if want "fig7" then begin
+      let dims = if quick then [ 32; 64 ] else [ 32; 64; 128; 256 ] in
+      Fig7.print (Fig7.run ~dims lib scl)
+    end;
+    if want "fig8" then Fig8.print (Fig8.run lib scl);
+    if want "fig9" then begin
+      let a = Compiler.compile lib scl Spec.fig8 in
+      Fig9.print (Fig9.run lib a)
+    end;
+    if want "table2" then Table2.print (Table2.measure lib scl);
+    if want "ablations" then begin
+      let heights = if quick then [ 16; 32 ] else [ 16; 32; 64; 128 ] in
+      Ablation.print_adder_trees (Ablation.adder_trees ~heights scl);
+      Ablation.print_search_ladder
+        (Ablation.search_ladder lib scl Spec.fig8);
+      let dims = if quick then [ 32 ] else [ 32; 64; 128 ] in
+      Ablation.print_placements (Ablation.placements ~dims lib)
+    end;
+    0
+  in
+  Cmd.v (Cmd.info "exp" ~doc:"Reproduce the paper's tables and figures")
+    Term.(const run $ which $ quick)
+
+(* ---------------- library ---------------- *)
+
+let library_cmd =
+  let view =
+    Arg.(value & pos 0 string "lib"
+         & info [] ~docv:"VIEW" ~doc:"lib (Liberty timing/power) or lef (geometry)")
+  in
+  let run view =
+    let lib = Library.n40 () in
+    (match view with
+    | "lef" -> print_string (Liberty.lef_text lib)
+    | _ -> print_string (Liberty.lib_text lib));
+    0
+  in
+  Cmd.v
+    (Cmd.info "library" ~doc:"Dump the synthetic 40nm cell library views")
+    Term.(const run $ view)
+
+let () =
+  let doc = "SynDCIM: performance-aware digital computing-in-memory compiler" in
+  let info = Cmd.info "syndcim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ compile_cmd; exp_cmd; library_cmd ]))

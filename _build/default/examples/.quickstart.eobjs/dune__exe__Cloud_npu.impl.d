@@ -1,0 +1,1 @@
+examples/cloud_npu.ml: Array Compiler Fpfmt Library List Macro_rtl Precision Printf Report Rng Scl Searcher Sim Spec Testbench

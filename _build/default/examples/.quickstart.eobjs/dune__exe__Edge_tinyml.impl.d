@@ -1,0 +1,1 @@
+examples/edge_tinyml.ml: Compiler Library List Macro_rtl Post_layout Power Precision Printf Report Scl Spec

@@ -1,0 +1,1 @@
+examples/explore_pareto.ml: Array Baselines Design_point Float Library List Printf Scl Searcher Spec String

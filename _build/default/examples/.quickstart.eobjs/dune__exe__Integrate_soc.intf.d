@@ -1,0 +1,1 @@
+examples/integrate_soc.mli:

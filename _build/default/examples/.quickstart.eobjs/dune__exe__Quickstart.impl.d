@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Compiler Golden Library Macro_rtl Precision Printf Report Scl Sim Spec Testbench

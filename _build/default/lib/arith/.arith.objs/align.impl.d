@@ -1,0 +1,1 @@
+lib/arith/align.ml: Array Float Fpfmt

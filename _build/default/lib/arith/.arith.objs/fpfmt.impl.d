@@ -1,0 +1,1 @@
+lib/arith/fpfmt.ml: Intmath Rng

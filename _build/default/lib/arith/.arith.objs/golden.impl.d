@@ -1,0 +1,1 @@
+lib/arith/golden.ml: Align Array Intmath

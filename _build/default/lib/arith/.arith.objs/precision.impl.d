@@ -1,0 +1,1 @@
+lib/arith/precision.ml: Fpfmt Printf

@@ -1,0 +1,62 @@
+(** Behavioural model of the FP&INT alignment unit (paper §II-B).
+
+    For a group of FP inputs the unit finds the maximum effective exponent
+    through a comparator tree, right-shifts each mantissa by its exponent
+    deficit (keeping [guard] fraction bits, truncating toward zero), and
+    applies the sign — producing integers that the plain INT MAC datapath
+    can consume. The group result then carries the shared exponent. *)
+
+type aligned = {
+  values : int array;  (** signed fixed-point inputs for the INT datapath *)
+  group_exp : int;  (** shared effective exponent of the group *)
+}
+
+(** [max_exponent f xs] is the comparator-tree result: the largest effective
+    exponent over the packed values [xs]; the exponent of an all-zero group
+    is the subnormal exponent 1. *)
+let max_exponent f xs =
+  Array.fold_left
+    (fun acc bits -> max acc (Fpfmt.decode f bits).eff_exp)
+    1 xs
+
+(** [align_one f ~group_exp bits] shifts one decoded value into the group's
+    fixed-point grid. Truncation is toward zero (shift the magnitude, then
+    negate), matching the generated hardware bit-for-bit. *)
+let align_one f ~group_exp bits =
+  let d = Fpfmt.decode f bits in
+  let shift = group_exp - d.eff_exp in
+  assert (shift >= 0);
+  let mag_bits = Fpfmt.aligned_mag_bits f in
+  let ext = d.mant lsl f.guard in
+  let mag = if shift >= mag_bits then 0 else ext lsr shift in
+  if d.sign then -mag else mag
+
+(** [align f xs] runs the full unit on a group of packed values. *)
+let align f xs =
+  let group_exp = max_exponent f xs in
+  { values = Array.map (align_one f ~group_exp) xs; group_exp }
+
+(** [real_of_aligned f a i] reconstructs the numeric value of element [i]
+    after alignment, used to bound the alignment error in tests. *)
+let real_of_aligned f (a : aligned) i =
+  let scale =
+    2.0
+    ** float_of_int (a.group_exp - Fpfmt.bias f - f.man_bits - f.guard)
+  in
+  float_of_int a.values.(i) *. scale
+
+(** [max_alignment_error f] bounds |aligned - exact| relative to the
+    group's ulp: truncating [guard] bits after a shift loses strictly less
+    than one aligned-grid step. *)
+let max_alignment_error f (a : aligned) xs =
+  let err = ref 0.0 in
+  Array.iteri
+    (fun i bits ->
+      let exact = Fpfmt.to_real f bits in
+      let approx = real_of_aligned f a i in
+      err := Float.max !err (Float.abs (exact -. approx)))
+    xs;
+  let ulp =
+    2.0 ** float_of_int (a.group_exp - Fpfmt.bias f - f.man_bits - f.guard)
+  in
+  (!err, ulp)

@@ -1,0 +1,68 @@
+(** Floating-point mini-formats supported by the macro: FP4 (E2M1),
+    FP8 (E4M3) and BF16 (E8M7), plus the fixed-point alignment geometry the
+    FP&INT alignment unit implements.
+
+    A value is stored as a bit-field triple (sign, exponent, mantissa).
+    [guard] extra fraction bits are kept through alignment before
+    truncation toward zero — with [guard = 3], FP8 aligns into a signed
+    8-bit integer, which is exactly the paper's "converts FP data into INT
+    format" behaviour. *)
+
+type t = {
+  name : string;
+  exp_bits : int;
+  man_bits : int;
+  guard : int;  (** fraction bits preserved by the aligner *)
+}
+
+let fp4 = { name = "FP4"; exp_bits = 2; man_bits = 1; guard = 3 }
+let fp8 = { name = "FP8"; exp_bits = 4; man_bits = 3; guard = 3 }
+
+(** BF16 keeps no guard bits: its 8-bit significand (implicit bit
+    included) already fills the alignment grid, so the aligner truncates
+    into a 9-bit signed integer — the narrow-INT conversion real
+    multi-precision DCIM datapaths use. *)
+let bf16 = { name = "BF16"; exp_bits = 8; man_bits = 7; guard = 0 }
+
+(** [storage_bits f] is the width of the packed representation. *)
+let storage_bits f = 1 + f.exp_bits + f.man_bits
+
+(** [bias f] is the IEEE-style exponent bias. *)
+let bias f = Intmath.pow2 (f.exp_bits - 1) - 1
+
+(** Width of the aligned magnitude: implicit bit + mantissa + guard. *)
+let aligned_mag_bits f = f.man_bits + 1 + f.guard
+
+(** Width of the signed integer the aligner produces. *)
+let aligned_bits f = aligned_mag_bits f + 1
+
+(** A decoded value: [mant] already includes the implicit leading one for
+    normals; [eff_exp] is the effective (unbiased-comparison) exponent
+    field with subnormals mapped to 1. *)
+type decoded = { sign : bool; eff_exp : int; mant : int }
+
+(** [pack f ~sign ~exp ~man] builds the bit-field representation. *)
+let pack f ~sign ~exp ~man =
+  assert (exp >= 0 && exp < Intmath.pow2 f.exp_bits);
+  assert (man >= 0 && man < Intmath.pow2 f.man_bits);
+  ((if sign then 1 else 0) lsl (f.exp_bits + f.man_bits))
+  lor (exp lsl f.man_bits) lor man
+
+(** [decode f bits] splits the packed representation, resolving the
+    implicit bit and the subnormal exponent. *)
+let decode f bits =
+  let man = bits land (Intmath.pow2 f.man_bits - 1) in
+  let exp = (bits lsr f.man_bits) land (Intmath.pow2 f.exp_bits - 1) in
+  let sign = (bits lsr (f.exp_bits + f.man_bits)) land 1 = 1 in
+  if exp = 0 then { sign; eff_exp = 1; mant = man }
+  else { sign; eff_exp = exp; mant = Intmath.pow2 f.man_bits lor man }
+
+(** [to_real f bits] is the numeric value, for documentation and tests. *)
+let to_real f bits =
+  let d = decode f bits in
+  let m = float_of_int d.mant /. float_of_int (Intmath.pow2 f.man_bits) in
+  let e = float_of_int (d.eff_exp - bias f) in
+  (if d.sign then -1.0 else 1.0) *. m *. (2.0 ** e)
+
+(** [random rng f] draws a uniformly random bit pattern of the format. *)
+let random rng f = Rng.int rng (Intmath.pow2 (storage_bits f))

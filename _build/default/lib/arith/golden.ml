@@ -1,0 +1,91 @@
+(** Golden (bit-accurate behavioural) models of the DCIM macro datapath.
+
+    These are the reference every generated netlist is checked against:
+    the same bit-serial schedule, the same partial-sum algebra, computed
+    with native integers. *)
+
+(** [dot ~weights ~inputs] is the plain signed dot product. *)
+let dot ~weights ~inputs =
+  assert (Array.length weights = Array.length inputs);
+  let acc = ref 0 in
+  Array.iteri (fun i w -> acc := !acc + (w * inputs.(i))) weights;
+  !acc
+
+(** [column_popcount ~weight_bits ~input_bits_t] is one column's adder-tree
+    output in one bit-serial cycle: the number of rows whose weight bit and
+    current input bit are both one. *)
+let column_popcount ~weight_bits ~input_bits_t =
+  let n = Array.length weight_bits in
+  assert (Array.length input_bits_t = n);
+  let c = ref 0 in
+  for r = 0 to n - 1 do
+    if weight_bits.(r) && input_bits_t.(r) then incr c
+  done;
+  !c
+
+(** [input_bit x t] is bit [t] of the two's complement representation of
+    [x] (valid for any [t] below the input width). *)
+let input_bit x t = (x asr t) land 1 = 1
+
+(** [shift_accumulate ~input_bits sums] folds the per-cycle column sums the
+    way the S&A does: partial sums weighted by 2^t, the final (sign) bit
+    subtracted — yielding Sum_r x_r * wbit_r for signed x. One-bit inputs
+    are unsigned (binary networks), so no cycle subtracts. *)
+let shift_accumulate ~input_bits sums =
+  assert (Array.length sums = input_bits);
+  let acc = ref 0 in
+  for t = 0 to input_bits - 1 do
+    let signed =
+      if input_bits > 1 && t = input_bits - 1 then -sums.(t) else sums.(t)
+    in
+    acc := !acc + (signed lsl t)
+  done;
+  !acc
+
+(** [fuse_columns ~weight_bits per_column] folds per-column accumulations
+    the way the OFU does: column j carries weight 2^j, the MSB column
+    (two's complement sign position) is subtracted. One-bit weights are
+    unsigned, so a single column passes through unnegated. *)
+let fuse_columns ~weight_bits per_column =
+  assert (Array.length per_column = weight_bits);
+  let acc = ref 0 in
+  for j = 0 to weight_bits - 1 do
+    let signed =
+      if weight_bits > 1 && j = weight_bits - 1 then -per_column.(j)
+      else per_column.(j)
+    in
+    acc := !acc + (signed lsl j)
+  done;
+  !acc
+
+(** [bit_serial_mac ~input_bits ~weight_bits ~weights ~inputs] replays the
+    whole macro schedule — per-cycle popcounts, shift-accumulate, column
+    fusion — and must equal {!dot}. Exposed (rather than just [dot]) so
+    tests can validate the schedule algebra itself. *)
+let bit_serial_mac ~input_bits ~weight_bits ~weights ~inputs =
+  let n = Array.length weights in
+  assert (Array.length inputs = n);
+  let per_column =
+    Array.init weight_bits (fun j ->
+        let wbits = Array.map (fun w -> (w asr j) land 1 = 1) weights in
+        let sums =
+          Array.init input_bits (fun t ->
+              let xbits = Array.map (fun x -> input_bit x t) inputs in
+              column_popcount ~weight_bits:wbits ~input_bits_t:xbits)
+        in
+        shift_accumulate ~input_bits sums)
+  in
+  fuse_columns ~weight_bits per_column
+
+(** [fp_mac fmt ~weight_bits ~weights ~fp_inputs] aligns the FP inputs and
+    runs the signed INT datapath on the aligned values; returns the integer
+    result and the group exponent (the pair the hardware outputs). *)
+let fp_mac fmt ~weight_bits ~weights ~fp_inputs =
+  ignore weight_bits;
+  let a = Align.align fmt fp_inputs in
+  (dot ~weights ~inputs:a.values, a.group_exp)
+
+(** Width (bits) needed for the fused result of an H-row macro at the given
+    precisions, with one spare bit of margin. *)
+let result_width ~rows ~input_bits ~weight_bits =
+  Intmath.ceil_log2 rows + input_bits + weight_bits + 1

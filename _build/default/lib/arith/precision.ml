@@ -1,0 +1,35 @@
+(** Operand precisions a macro can be configured for. *)
+
+type t =
+  | Int of int  (** signed integer of the given bit width (1/2/4/8) *)
+  | Fp of Fpfmt.t  (** floating-point, aligned on-line into integers *)
+
+let int1 = Int 1
+let int2 = Int 2
+let int4 = Int 4
+let int8 = Int 8
+let fp4 = Fp Fpfmt.fp4
+let fp8 = Fp Fpfmt.fp8
+let bf16 = Fp Fpfmt.bf16
+
+let name = function
+  | Int w -> Printf.sprintf "INT%d" w
+  | Fp f -> f.Fpfmt.name
+
+(** [datapath_bits p] is the width of the integers entering the bit-serial
+    datapath: the storage width for INT, the aligner's output width for
+    FP. *)
+let datapath_bits = function
+  | Int w -> w
+  | Fp f -> Fpfmt.aligned_bits f
+
+(** [storage_bits p] is the width of the raw operand as presented at the
+    macro boundary. *)
+let storage_bits = function Int w -> w | Fp f -> Fpfmt.storage_bits f
+
+(** [is_fp p] — whether the FP&INT alignment unit is on the input path. *)
+let is_fp = function Fp _ -> true | Int _ -> false
+
+(** [ops_per_mac p_in p_w] counts 1b x 1b equivalent operations of one MAC
+    at this precision pair, the unit used for TOPS normalization. *)
+let ops_per_mac p_in p_w = datapath_bits p_in * datapath_bits p_w

@@ -1,0 +1,1 @@
+lib/cell/characterize.ml: Array Cell Library List

@@ -1,0 +1,1 @@
+lib/cell/liberty.ml: Array Buffer Cell Characterize Library List Printf String

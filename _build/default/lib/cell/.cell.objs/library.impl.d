@@ -1,0 +1,1 @@
+lib/cell/library.ml: Array Cell Hashtbl Node

@@ -1,0 +1,143 @@
+(** Cell kinds of the synthetic 40 nm library.
+
+    Three families, mirroring the paper's subcircuit library (Fig. 3):
+
+    - standard combinational/sequential cells that any digital flow has;
+    - arithmetic cells (half/full adders, 4-2 compressors) that the bit-wise
+      carry-save adder trees are built from;
+    - DCIM custom cells (SRAM storage bits and the fused multiplier /
+      multiplexer variants) that the paper characterizes through a custom
+      cell flow and injects into the digital flow as standard cells. *)
+
+type sram_kind =
+  | S6t  (** classic 6T storage cell + read port *)
+  | S8t  (** 8T D-latch cell, robust read and write *)
+  | S12t  (** 12T OAI-gate-based cell, design-feasibility oriented *)
+
+type mul_kind =
+  | Tg_nor  (** 2T transmission-gate select + NOR multiply (common) *)
+  | Pass_1t  (** 1T passing-gate mux; area-efficient, slow, leaky *)
+  | Oai22_fused  (** fused multiplier+mux (OAI22); only scales to MCR<=2 *)
+
+type kind =
+  | Inv
+  | Buf
+  | Nand2
+  | Nor2
+  | And2
+  | Or2
+  | Xor2
+  | Xnor2
+  | Mux2  (** inputs [a; b; sel], output [sel ? b : a] *)
+  | Aoi22  (** inputs [a; b; c; d], output [!(a&b | c&d)] *)
+  | Oai22  (** inputs [a; b; c; d], output [!((a|b) & (c|d))] *)
+  | Ha  (** inputs [a; b], outputs [sum; carry] *)
+  | Fa  (** inputs [a; b; cin], outputs [sum; carry] *)
+  | Comp42  (** inputs [a; b; c; d; cin], outputs [sum; carry; cout] *)
+  | Dff  (** input [d], output [q]; clocked *)
+  | Dff_en  (** inputs [d; en], output [q]; clocked, holds when !en *)
+  | Sram of sram_kind  (** no logic input; output is the stored bit *)
+  | Mul of mul_kind
+      (** [Tg_nor]/[Pass_1t]: inputs [x; w] output [x & w].
+          [Oai22_fused]: inputs [x; w0; w1; sel] output [x & (sel?w1:w0)]. *)
+  | Tgmux2  (** transmission-gate mux: inputs [a; b; sel] *)
+  | Ptmux2  (** pass-transistor mux: inputs [a; b; sel]; cheap but weak *)
+
+(** Drive strength of a cell instance. *)
+type drive = X1 | X2 | X4
+
+let drive_to_string = function X1 -> "X1" | X2 -> "X2" | X4 -> "X4"
+
+let kind_to_string = function
+  | Inv -> "INV"
+  | Buf -> "BUF"
+  | Nand2 -> "NAND2"
+  | Nor2 -> "NOR2"
+  | And2 -> "AND2"
+  | Or2 -> "OR2"
+  | Xor2 -> "XOR2"
+  | Xnor2 -> "XNOR2"
+  | Mux2 -> "MUX2"
+  | Aoi22 -> "AOI22"
+  | Oai22 -> "OAI22"
+  | Ha -> "HA"
+  | Fa -> "FA"
+  | Comp42 -> "COMP42"
+  | Dff -> "DFF"
+  | Dff_en -> "DFFE"
+  | Sram S6t -> "SRAM6T"
+  | Sram S8t -> "SRAM8T"
+  | Sram S12t -> "SRAM12T"
+  | Mul Tg_nor -> "MUL_TGNOR"
+  | Mul Pass_1t -> "MUL_PASS1T"
+  | Mul Oai22_fused -> "MUL_OAI22F"
+  | Tgmux2 -> "TGMUX2"
+  | Ptmux2 -> "PTMUX2"
+
+let all_kinds =
+  [
+    Inv; Buf; Nand2; Nor2; And2; Or2; Xor2; Xnor2; Mux2; Aoi22; Oai22; Ha;
+    Fa; Comp42; Dff; Dff_en; Sram S6t; Sram S8t; Sram S12t; Mul Tg_nor;
+    Mul Pass_1t; Mul Oai22_fused; Tgmux2; Ptmux2;
+  ]
+
+(** [n_inputs k] is the number of logic input pins (clock excluded). *)
+let n_inputs = function
+  | Inv | Buf -> 1
+  | Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 | Ha -> 2
+  | Mux2 | Fa | Tgmux2 | Ptmux2 -> 3
+  | Aoi22 | Oai22 -> 4
+  | Comp42 -> 5
+  | Dff -> 1
+  | Dff_en -> 2
+  | Sram _ -> 0
+  | Mul Tg_nor | Mul Pass_1t -> 2
+  | Mul Oai22_fused -> 4
+
+(** [n_outputs k] is the number of output pins. *)
+let n_outputs = function
+  | Ha | Fa -> 2
+  | Comp42 -> 3
+  | Inv | Buf | Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 | Mux2 | Aoi22
+  | Oai22 | Dff | Dff_en | Sram _ | Mul _ | Tgmux2 | Ptmux2 ->
+      1
+
+(** [is_sequential k] holds for clocked state elements. SRAM cells are
+    state too, but written through the BL driver rather than the clock. *)
+let is_sequential = function
+  | Dff | Dff_en -> true
+  | Inv | Buf | Nand2 | Nor2 | And2 | Or2 | Xor2 | Xnor2 | Mux2 | Aoi22
+  | Oai22 | Ha | Fa | Comp42 | Sram _ | Mul _ | Tgmux2 | Ptmux2 ->
+      false
+
+let is_storage = function Sram _ -> true | _ -> false
+
+let maj3 a b c = (a && b) || (a && c) || (b && c)
+
+(** [eval k ins] computes the combinational function of kind [k]. For
+    sequential and storage kinds this is the identity on the held state and
+    must not be called by the simulator's combinational phase. *)
+let eval k (ins : bool array) : bool array =
+  match k, ins with
+  | Inv, [| a |] -> [| not a |]
+  | Buf, [| a |] -> [| a |]
+  | Nand2, [| a; b |] -> [| not (a && b) |]
+  | Nor2, [| a; b |] -> [| not (a || b) |]
+  | And2, [| a; b |] -> [| a && b |]
+  | Or2, [| a; b |] -> [| a || b |]
+  | Xor2, [| a; b |] -> [| a <> b |]
+  | Xnor2, [| a; b |] -> [| a = b |]
+  | Mux2, [| a; b; s |] | Tgmux2, [| a; b; s |] | Ptmux2, [| a; b; s |] ->
+      [| (if s then b else a) |]
+  | Aoi22, [| a; b; c; d |] -> [| not ((a && b) || (c && d)) |]
+  | Oai22, [| a; b; c; d |] -> [| not ((a || b) && (c || d)) |]
+  | Ha, [| a; b |] -> [| a <> b; a && b |]
+  | Fa, [| a; b; c |] -> [| a <> b <> c; maj3 a b c |]
+  | Comp42, [| a; b; c; d; cin |] ->
+      let s1 = a <> b <> c and co = maj3 a b c in
+      [| s1 <> d <> cin; maj3 s1 d cin; co |]
+  | Mul Tg_nor, [| x; w |] | Mul Pass_1t, [| x; w |] -> [| x && w |]
+  | Mul Oai22_fused, [| x; w0; w1; s |] -> [| x && (if s then w1 else w0) |]
+  | (Dff | Dff_en | Sram _), _ ->
+      invalid_arg "Cell.eval: sequential/storage cell"
+  | _ -> invalid_arg "Cell.eval: arity mismatch"

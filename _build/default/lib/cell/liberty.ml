@@ -1,0 +1,90 @@
+(** Liberty (.lib) and LEF-style exporters.
+
+    The paper's custom cells are made "compatible with standard cells,
+    allowing integration into the standard digital flow" by emitting LEF
+    (geometry) and LIB (timing/power/area) views. These writers produce the
+    equivalent human-readable views of the synthetic library so a user can
+    inspect — or diff — what the compiler believes about each cell. *)
+
+let buf_table b name (tab : Characterize.table) =
+  Buffer.add_string b (Printf.sprintf "        %s (delay_template) {\n" name);
+  let axis label a =
+    Buffer.add_string b
+      (Printf.sprintf "          %s(\"%s\");\n" label
+         (String.concat ", " (Array.to_list (Array.map (Printf.sprintf "%.1f") a))))
+  in
+  axis "index_1" tab.slews;
+  axis "index_2" tab.loads;
+  Buffer.add_string b "          values(\n";
+  Array.iteri
+    (fun i row ->
+      let line =
+        String.concat ", "
+          (Array.to_list (Array.map (Printf.sprintf "%.2f") row))
+      in
+      let sep = if i = Array.length tab.values - 1 then "\"" else "\",\n" in
+      Buffer.add_string b (Printf.sprintf "            \"%s%s" line sep))
+    tab.values;
+  Buffer.add_string b ");\n        }\n"
+
+let cell_block b (v : Characterize.view) =
+  let p = v.params in
+  let name =
+    Printf.sprintf "%s_%s" (Cell.kind_to_string v.kind)
+      (Cell.drive_to_string v.drive)
+  in
+  Buffer.add_string b (Printf.sprintf "  cell (%s) {\n" name);
+  Buffer.add_string b (Printf.sprintf "    area : %.3f;\n" p.area_um2);
+  Buffer.add_string b
+    (Printf.sprintf "    cell_leakage_power : %.3f;\n" p.leakage_nw);
+  for i = 0 to Cell.n_inputs v.kind - 1 do
+    Buffer.add_string b
+      (Printf.sprintf
+         "    pin (I%d) { direction : input; capacitance : %.3f; }\n" i
+         p.input_cap_ff)
+  done;
+  if Cell.is_sequential v.kind then
+    Buffer.add_string b
+      (Printf.sprintf
+         "    pin (CK) { direction : input; clock : true; capacitance : \
+          %.3f; }\n"
+         p.clock_cap_ff);
+  for o = 0 to Cell.n_outputs v.kind - 1 do
+    Buffer.add_string b
+      (Printf.sprintf "    pin (O%d) {\n      direction : output;\n" o);
+    Buffer.add_string b "      timing () {\n";
+    buf_table b "cell_rise" v.delay.(o);
+    buf_table b "rise_transition" v.out_slew.(o);
+    Buffer.add_string b "      }\n    }\n"
+  done;
+  Buffer.add_string b "  }\n"
+
+(** [lib_text lib] renders the whole library as Liberty-style text. *)
+let lib_text lib =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "library (syndcim_40nm) {\n";
+  Buffer.add_string b "  time_unit : \"1ps\";\n";
+  Buffer.add_string b "  capacitive_load_unit (1, ff);\n";
+  Buffer.add_string b
+    (Printf.sprintf "  nom_voltage : %.2f;\n" lib.Library.node.vdd_nominal);
+  List.iter (cell_block b) (Characterize.all lib);
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+(** [lef_text lib] renders cell geometry (site-normalized footprints) as
+    LEF-style text. Heights are one site row; widths follow area. *)
+let lef_text lib =
+  let b = Buffer.create 16384 in
+  let row_height_um = 1.4 in
+  Buffer.add_string b "VERSION 5.8 ;\nUNITS DATABASE MICRONS 1000 ; END UNITS\n";
+  List.iter
+    (fun k ->
+      let p = Library.params lib k Cell.X1 in
+      let w = p.area_um2 /. row_height_um in
+      Buffer.add_string b
+        (Printf.sprintf
+           "MACRO %s\n  CLASS CORE ;\n  SIZE %.3f BY %.3f ;\nEND %s\n"
+           (Cell.kind_to_string k) w row_height_um (Cell.kind_to_string k)))
+    Cell.all_kinds;
+  Buffer.add_string b "END LIBRARY\n";
+  Buffer.contents b

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Design_point Floorplan Library Macro_rtl Post_layout Power Printf Route Searcher Sizing Spec Sta Testbench Voltage

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Compiler Ir List Macro_rtl Post_layout Power Printf Searcher Spec Stats Table

@@ -1,0 +1,1 @@
+lib/eval/ablation.ml: Adder_tree Cell Design_point Floorplan List Macro_rtl Post_layout Power Ppa Precision Printf Scl Searcher Spec Sta Stats Table

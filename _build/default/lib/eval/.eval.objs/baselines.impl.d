@@ -1,0 +1,1 @@
+lib/eval/baselines.ml: Adder_tree Cell Design_point Driver Library Macro_rtl Power Spec Sta Stats Voltage

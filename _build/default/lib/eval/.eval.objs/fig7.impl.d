@@ -1,0 +1,1 @@
+lib/eval/fig7.ml: Compiler List Precision Printf Spec Table

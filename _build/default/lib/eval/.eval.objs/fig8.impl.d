@@ -1,0 +1,1 @@
+lib/eval/fig8.ml: Adder_tree Baselines Compiler Design_point List Macro_rtl Printf Searcher Shift_adder Spec Table

@@ -1,0 +1,1 @@
+lib/eval/fig9.ml: Array Compiler Float Library Printf Voltage

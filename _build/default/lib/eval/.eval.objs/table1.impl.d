@@ -1,0 +1,1 @@
+lib/eval/table1.ml: Compiler List Lvs Post_layout Precision Printf Scl Searcher Spec String Table

@@ -1,0 +1,1 @@
+lib/eval/table2.ml: Compiler Design_point Library List Macro_rtl Post_layout Power Precision Printf Scaling Spec Table Voltage

@@ -1,0 +1,98 @@
+(** Paper Figure 8: the Pareto frontier of SynDCIM-generated designs for
+    the spec H = W = 64, MCR = 2, INT4/8 + FP4/8, MAC and weight update at
+    800 MHz @ 0.9 V, with baseline compilers for comparison.
+
+    The MSO searcher is swept over every PPA preference; all
+    timing-meeting visited points form the cloud, its (power, area)
+    non-dominated subset the frontier. Four representative designs (the
+    per-preference winners) are taken through the full back-end, exactly
+    like the paper implements four selected points into layouts. *)
+
+type selected = {
+  preference : string;
+  artifact : Compiler.artifact;
+}
+
+type result = {
+  frontier : Design_point.t list;
+  cloud : Design_point.t list;
+  implemented : selected list;
+  baseline_points : (string * Design_point.t) list;
+}
+
+let run lib scl =
+  let spec = Spec.fig8 in
+  let frontier, cloud = Searcher.pareto_sweep lib scl spec in
+  let implemented =
+    List.map
+      (fun preference ->
+        {
+          preference = Spec.preference_name preference;
+          artifact = Compiler.compile lib scl { spec with Spec.preference };
+        })
+      [
+        Spec.Prefer_power; Spec.Prefer_area; Spec.Prefer_performance;
+        Spec.Balanced;
+      ]
+  in
+  let baseline_points = Baselines.all lib spec in
+  { frontier; cloud; implemented; baseline_points }
+
+let point_row label (p : Design_point.t) =
+  [
+    label;
+    Adder_tree.topology_name p.Design_point.cfg.Macro_rtl.tree;
+    Shift_adder.kind_name p.Design_point.cfg.Macro_rtl.sa_kind;
+    Table.f (p.Design_point.power_w *. 1e3);
+    Table.f ~digits:4 (p.Design_point.area_um2 /. 1e6);
+    Table.f ~digits:0 p.Design_point.crit_ps;
+    (if p.Design_point.meets_mac then "meets" else "violates");
+  ]
+
+let print (r : result) =
+  print_endline
+    "Figure 8 — Pareto frontier of generated designs (pre-layout points)";
+  let rows =
+    List.map (point_row "frontier") r.frontier
+    @ List.map (fun (n, p) -> point_row ("baseline: " ^ n) p)
+        r.baseline_points
+  in
+  Table.print
+    (Table.make
+       ~header:
+         [
+           "kind"; "tree"; "S&A"; "power (mW)"; "area (mm2)"; "crit (ps)";
+           "timing";
+         ]
+       rows);
+  Printf.printf "cloud: %d timing-meeting points visited, %d on frontier\n"
+    (List.length r.cloud) (List.length r.frontier);
+  print_endline "implemented (post-layout, as the paper's four selections):";
+  let rows =
+    List.map
+      (fun s ->
+        let m = s.artifact.Compiler.metrics in
+        [
+          s.preference;
+          Table.f (m.Compiler.power_w *. 1e3);
+          Table.f ~digits:4 m.Compiler.area_mm2;
+          Table.f m.Compiler.fmax_ghz;
+          (if s.artifact.Compiler.timing_closed then "closed" else "missed");
+        ])
+      r.implemented
+  in
+  Table.print
+    (Table.make
+       ~header:
+         [ "preference"; "power (mW)"; "area (mm2)"; "fmax (GHz)"; "timing" ]
+       rows)
+
+(** Dominance check used by tests and the summary: does some searched
+    frontier point dominate the given baseline on (power, area) while
+    meeting timing? *)
+let frontier_dominates (r : result) (baseline : Design_point.t) =
+  List.exists
+    (fun (p : Design_point.t) ->
+      p.Design_point.power_w <= baseline.Design_point.power_w
+      && p.Design_point.area_um2 <= baseline.Design_point.area_um2)
+    r.frontier

@@ -1,0 +1,74 @@
+(** Paper Figure 9: shmoo plot of the test macro — pass/fail over a
+    (supply voltage x clock frequency) grid, derived from the signed-off
+    post-layout critical path and the alpha-power-law voltage model (the
+    fabricated-chip substitution documented in DESIGN.md).
+
+    The paper's chip passes at 1.1 GHz / 1.2 V and reaches 300 MHz at
+    0.7 V; the reproduced plot shows the same monotone frontier with
+    GHz-class speed at 1.2 V and a few hundred MHz at 0.7 V. *)
+
+type t = {
+  crit_ps : float;  (** nominal-voltage post-layout critical path *)
+  vdds : float array;
+  freqs_mhz : float array;
+  pass : bool array array;  (** [pass.(vi).(fi)] *)
+}
+
+let default_vdds = [| 0.6; 0.7; 0.8; 0.9; 1.0; 1.1; 1.2; 1.3 |]
+
+let default_freqs_mhz =
+  [| 100.; 200.; 300.; 400.; 500.; 600.; 700.; 800.; 900.; 1000.; 1100.; 1200.; 1300. |]
+
+(** [shmoo node ~crit_ps] computes the grid. *)
+let shmoo ?(vdds = default_vdds) ?(freqs_mhz = default_freqs_mhz) node
+    ~crit_ps =
+  let pass =
+    Array.map
+      (fun vdd ->
+        Array.map
+          (fun f_mhz ->
+            Voltage.passes node ~crit_path_ps:crit_ps ~vdd
+              ~freq_hz:(f_mhz *. 1e6))
+          freqs_mhz)
+      vdds
+  in
+  { crit_ps; vdds; freqs_mhz; pass }
+
+(** [run lib artifact] derives the shmoo of a compiled macro. *)
+let run lib (a : Compiler.artifact) =
+  shmoo lib.Library.node ~crit_ps:a.Compiler.metrics.Compiler.crit_ps
+
+(** [fmax_mhz t ~vdd] — highest passing grid frequency at [vdd]. *)
+let fmax_mhz (t : t) ~vdd =
+  let vi = ref (-1) in
+  Array.iteri (fun i v -> if Float.abs (v -. vdd) < 1e-6 then vi := i) t.vdds;
+  if !vi < 0 then None
+  else begin
+    let best = ref None in
+    Array.iteri
+      (fun fi ok -> if ok then best := Some t.freqs_mhz.(fi))
+      t.pass.(!vi);
+    !best
+  end
+
+let print (t : t) =
+  print_endline "Figure 9 — shmoo plot (o = pass, . = fail)";
+  Printf.printf "        post-layout critical path: %.0f ps at nominal VDD\n"
+    t.crit_ps;
+  Printf.printf "%8s" "V \\ MHz";
+  Array.iter (fun f -> Printf.printf "%5.0f" f) t.freqs_mhz;
+  print_newline ();
+  let n = Array.length t.vdds in
+  for vi = n - 1 downto 0 do
+    Printf.printf "%7.2fV" t.vdds.(vi);
+    Array.iter
+      (fun ok -> Printf.printf "%5s" (if ok then "o" else "."))
+      t.pass.(vi);
+    print_newline ()
+  done;
+  (match fmax_mhz t ~vdd:1.2 with
+  | Some f -> Printf.printf "max frequency @ 1.2 V: %.0f MHz\n" f
+  | None -> ());
+  match fmax_mhz t ~vdd:0.7 with
+  | Some f -> Printf.printf "max frequency @ 0.7 V: %.0f MHz\n" f
+  | None -> ()

@@ -1,0 +1,113 @@
+(** Paper Table I: comparison with emerging CIM compilers.
+
+    The published compilers' capabilities are literature facts; SynDCIM's
+    four checkmarks are *demonstrated* by [evidence], which runs the
+    feature: an end-to-end compile that signs off a layout, an FP-input
+    compile, a count of selectable variants per subcircuit in the SCL, and
+    the list of spec-driven techniques the searcher applied. *)
+
+type row = {
+  compiler : string;
+  end_to_end : bool;
+  fp_int : bool;
+  ppa_selectable : bool;
+  spec_oriented : bool;
+}
+
+let published =
+  [
+    { compiler = "AutoDCIM [5]"; end_to_end = true; fp_int = false;
+      ppa_selectable = false; spec_oriented = false };
+    { compiler = "EasyACIM [7]*"; end_to_end = true; fp_int = false;
+      ppa_selectable = false; spec_oriented = true };
+    { compiler = "ISLPED'23 [6]"; end_to_end = true; fp_int = false;
+      ppa_selectable = false; spec_oriented = false };
+    { compiler = "ARCTIC [8]"; end_to_end = true; fp_int = true;
+      ppa_selectable = false; spec_oriented = false };
+  ]
+
+type evidence = {
+  end_to_end_signoff : bool;  (** compile → DRC/LVS-clean layout *)
+  fp_compile_verified : bool;  (** FP-input macro compiles and verifies *)
+  selectable_variants : (string * int) list;  (** menu sizes per subcircuit *)
+  techniques_applied : int;  (** spec-driven moves in the last search *)
+}
+
+(** [demonstrate lib scl] runs each SynDCIM feature on a small spec and
+    reports what actually happened. *)
+let demonstrate lib scl =
+  let spec =
+    {
+      Spec.fig8 with
+      Spec.rows = 16;
+      cols = 16;
+      mac_freq_hz = 700e6;
+      mcr = 2;
+    }
+  in
+  let a = Compiler.compile lib scl spec in
+  let fp_spec =
+    { spec with Spec.input_prec = Precision.fp8; mac_freq_hz = 500e6 }
+  in
+  let fp = Compiler.compile lib scl fp_spec in
+  {
+    end_to_end_signoff =
+      a.Compiler.signoff.Post_layout.lvs.Lvs.clean
+      && a.Compiler.signoff.Post_layout.drc_violations = [];
+    fp_compile_verified = fp.Compiler.signoff.Post_layout.lvs.Lvs.clean;
+    selectable_variants =
+      [
+        ("memory_cell", List.length Scl.cell_menu);
+        ("mulmux", List.length Scl.mul_menu);
+        ("adder_tree", List.length Scl.tree_menu);
+        ("shift_adder", List.length Scl.sa_menu);
+      ];
+    techniques_applied = List.length a.Compiler.search.Searcher.applied;
+  }
+
+let mark b = if b then "yes" else "no"
+
+let table (e : evidence) =
+  let syn =
+    {
+      compiler = "SynDCIM (this repo)";
+      end_to_end = e.end_to_end_signoff;
+      fp_int = e.fp_compile_verified;
+      ppa_selectable =
+        List.for_all (fun (_, n) -> n >= 2) e.selectable_variants;
+      spec_oriented = e.techniques_applied >= 1;
+    }
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.compiler;
+          mark r.end_to_end;
+          mark r.fp_int;
+          mark r.ppa_selectable;
+          mark r.spec_oriented;
+        ])
+      (published @ [ syn ])
+  in
+  Table.make
+    ~header:
+      [
+        "compiler"; "end-to-end"; "FP&INT"; "PPA-selectable"; "spec-oriented";
+      ]
+    rows
+
+let run lib scl =
+  let e = demonstrate lib scl in
+  print_endline "Table I — comparison with emerging CIM compilers";
+  Table.print (table e);
+  Printf.printf
+    "evidence: signoff=%b, FP verified=%b, variants: %s, %d spec-driven \
+     techniques applied\n"
+    e.end_to_end_signoff e.fp_compile_verified
+    (String.concat ", "
+       (List.map
+          (fun (n, k) -> Printf.sprintf "%s x%d" n k)
+          e.selectable_variants))
+    e.techniques_applied;
+  e

@@ -1,0 +1,1 @@
+lib/layout/def_writer.ml: Array Buffer Cell Floorplan Fun Ir List Printf

@@ -1,0 +1,1 @@
+lib/layout/drc.ml: Array Float Floorplan Hashtbl Ir List Printf

@@ -1,0 +1,1 @@
+lib/layout/floorplan.ml: Array Cell Float Fun Intmath Ir Library List Macro_rtl Rng

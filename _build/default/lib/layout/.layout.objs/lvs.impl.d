@@ -1,0 +1,1 @@
+lib/layout/lvs.ml: Array Cell Float Floorplan Ir List Printf

@@ -1,0 +1,1 @@
+lib/layout/post_layout.ml: Drc Floorplan Library List Lvs Macro_rtl Power Printf Rng Route Sim Sta Testbench

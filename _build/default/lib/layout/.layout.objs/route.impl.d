@@ -1,0 +1,1 @@
+lib/layout/route.ml: Array Float Floorplan Ir List Node

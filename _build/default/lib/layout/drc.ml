@@ -1,0 +1,43 @@
+(** Design-rule checks on a placement: every cell inside the die, and no
+    two cells overlapping within a row — the geometric subset of a DRC
+    deck that a coarse row-based placement can violate. *)
+
+type violation =
+  | Out_of_bounds of int
+  | Overlap of int * int
+
+let violation_to_string = function
+  | Out_of_bounds i -> Printf.sprintf "instance %d outside die" i
+  | Overlap (a, b) -> Printf.sprintf "instances %d and %d overlap" a b
+
+(** [check lib p] returns all violations (empty means DRC-clean). *)
+let check lib (p : Floorplan.t) : violation list =
+  let d = p.design in
+  let n = Ir.n_insts d in
+  let violations = ref [] in
+  (* group by row index *)
+  let rows = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    let w = Floorplan.inst_width lib d.insts.(i) in
+    let x0 = p.x.(i) -. (w /. 2.0) and x1 = p.x.(i) +. (w /. 2.0) in
+    if x0 < -1e-3 || x1 > p.die_w +. 1e-3 || p.y.(i) < 0.0
+       || p.y.(i) > p.die_h
+    then violations := Out_of_bounds i :: !violations;
+    let row = int_of_float (p.y.(i) /. p.row_height) in
+    let cur = try Hashtbl.find rows row with Not_found -> [] in
+    Hashtbl.replace rows row ((i, x0, x1) :: cur)
+  done;
+  Hashtbl.iter
+    (fun _ cells ->
+      let sorted =
+        List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b) cells
+      in
+      let rec scan = function
+        | (a, _, a1) :: ((b, b0, _) :: _ as rest) ->
+            if b0 < a1 -. 1e-3 then violations := Overlap (a, b) :: !violations;
+            scan rest
+        | [ _ ] | [] -> ()
+      in
+      scan sorted)
+    rows;
+  !violations

@@ -1,0 +1,307 @@
+(** Placement: the SDP (structured data path) flow of paper §III-D, and a
+    scattered baseline for the ablation.
+
+    SDP placement mirrors the paper's Innovus SDP script: SRAM bit cells
+    are tiled on an exact (row, column, copy) grid, each column's
+    multiplier/mux and adder/S&A cells fill a strip immediately next to
+    that column ("we fill the gaps between SRAM columns with adder
+    cells"), and the peripheral logic (WL drivers and FP aligner on the
+    left, OFU/output/BL drivers in a band below) is placed around the
+    array. The scattered baseline shuffles every cell row-major across the
+    same die, which is what an unconstrained APR run degenerates to.
+
+    Column association for datapath cells uses creation order: the macro
+    composer instantiates tree and S&A cells strictly column-major and
+    multiplier elements row-major with a constant instance count per
+    element, so chunking each tag group by instance id recovers exact
+    column membership. *)
+
+type style = Sdp | Scattered
+
+let style_name = function Sdp -> "sdp" | Scattered -> "scattered"
+
+type t = {
+  design : Ir.design;
+  style : style;
+  x : float array;  (** per instance, cell center, um *)
+  y : float array;
+  die_w : float;
+  die_h : float;
+  row_height : float;
+}
+
+let row_height = 1.4
+
+let inst_width lib (inst : Ir.inst) =
+  (Library.params lib inst.kind inst.drive).Library.area_um2 /. row_height
+
+let tag_of (d : Ir.design) i = d.insts.(i).tag
+
+(* Partition instance ids into the placement regions. *)
+type regions = {
+  bitcells : (int * int * int * int) list;  (** (inst, row, col, copy) *)
+  mulmux : int list;  (** row-major creation order *)
+  column_strip : int list;  (** trees + S&A, column-major creation order *)
+  left_band : int list;  (** WL drivers, FP aligner *)
+  word_band : int list;  (** OFU + its pipeline/output regs, word-major *)
+  misc_band : int list;  (** BL drivers and everything else *)
+}
+
+let classify (d : Ir.design) : regions =
+  let bitcells = ref []
+  and mulmux = ref []
+  and strip = ref []
+  and left = ref []
+  and word = ref []
+  and misc = ref [] in
+  Array.iteri
+    (fun i (inst : Ir.inst) ->
+      match inst.tag with
+      | Ir.Weight_bit { row; col; copy } ->
+          bitcells := (i, row, col, copy) :: !bitcells
+      | Ir.Subcircuit "mulmux" -> mulmux := i :: !mulmux
+      | Ir.Subcircuit ("adder_tree" | "shift_adder") -> strip := i :: !strip
+      | Ir.Pipeline_reg ("tree_split" | "tree_out" | "tree_cs_a" | "tree_cs_b")
+        ->
+          strip := i :: !strip
+      | Ir.Subcircuit ("wl_driver" | "fp_align") -> left := i :: !left
+      | Ir.Subcircuit "ofu"
+      | Ir.Pipeline_reg ("sa_ofu" | "ofu_pipe" | "macro_out") ->
+          word := i :: !word
+      | Ir.Subcircuit _ | Ir.Pipeline_reg _ | Ir.Plain ->
+          misc := i :: !misc)
+    d.insts;
+  {
+    bitcells = List.rev !bitcells;
+    mulmux = List.rev !mulmux;
+    column_strip = List.rev !strip;
+    left_band = List.rev !left;
+    word_band = List.rev !word;
+    misc_band = List.rev !misc;
+  }
+
+(* Fill a rectangular region row-major with the given instances; returns
+   the actually used height. *)
+let fill_region lib d ~x ~y ~x0 ~y0 ~width ids =
+  let cx = ref x0 and cy = ref y0 in
+  List.iter
+    (fun i ->
+      let w = inst_width lib d.Ir.insts.(i) in
+      if !cx +. w > x0 +. width +. 1e-6 then begin
+        cx := x0;
+        cy := !cy +. row_height
+      end;
+      x.(i) <- !cx +. (w /. 2.0);
+      y.(i) <- !cy +. (row_height /. 2.0);
+      cx := !cx +. w)
+    ids;
+  !cy +. row_height -. y0
+
+let region_area lib d ids =
+  List.fold_left
+    (fun a i ->
+      a
+      +. (Library.params lib d.Ir.insts.(i).kind d.Ir.insts.(i).drive)
+           .Library.area_um2)
+    0.0 ids
+
+let widest_cell lib d ids =
+  List.fold_left (fun w i -> Float.max w (inst_width lib d.Ir.insts.(i))) 0.0 ids
+
+(** [sdp lib macro] — structured placement of a built macro. *)
+let sdp lib (m : Macro_rtl.t) : t =
+  let d = m.Macro_rtl.design in
+  let cfg = m.Macro_rtl.cfg in
+  let n = Ir.n_insts d in
+  let x = Array.make n 0.0 and y = Array.make n 0.0 in
+  let r = classify d in
+  let cell_w =
+    (Library.params lib (Cell.Sram cfg.cell_kind) Cell.X1).Library.area_um2
+    /. row_height
+  in
+  (* chunk the column strip ids (column-major creation order) per column *)
+  let strip_ids = Array.of_list r.column_strip in
+  let n_strip = Array.length strip_ids in
+  let per_col_strip =
+    Array.init cfg.cols (fun c ->
+        let lo = c * n_strip / cfg.cols and hi = (c + 1) * n_strip / cfg.cols in
+        Array.to_list (Array.sub strip_ids lo (hi - lo)))
+  in
+  (* chunk mulmux ids (row-major, constant count per element) *)
+  let mm_ids = Array.of_list r.mulmux in
+  let n_elems = cfg.rows * cfg.cols in
+  let per_elem =
+    if n_elems = 0 then 0 else Array.length mm_ids / max n_elems 1
+  in
+  (* the multiplier slot must fit the widest element (drives may differ) *)
+  let mul_w =
+    if Array.length mm_ids = 0 || per_elem = 0 then 0.0
+    else begin
+      let widest = ref 0.0 in
+      for e = 0 to n_elems - 1 do
+        let w = ref 0.0 in
+        for s = 0 to per_elem - 1 do
+          w := !w +. inst_width lib d.Ir.insts.(mm_ids.((e * per_elem) + s))
+        done;
+        if !w > !widest then widest := !w
+      done;
+      !widest
+    end
+  in
+  (* per-column strip width from its own area, with packing margin *)
+  let array_h = float_of_int cfg.rows *. row_height in
+  let strip_w c =
+    let a = region_area lib d per_col_strip.(c) in
+    Float.max
+      (widest_cell lib d per_col_strip.(c))
+      (Float.max cell_w (1.12 *. a /. array_h))
+  in
+  (* left band for WL drivers and the aligner *)
+  let left_area = region_area lib d r.left_band in
+  (* column pitch *)
+  let pitch c =
+    (float_of_int cfg.mcr *. cell_w) +. mul_w +. strip_w c +. 0.2
+  in
+  (* fold the columns into stripes so the die aspect stays near square:
+     a flat 1 x cols arrangement would make every cross-array net as long
+     as the whole die *)
+  let total_flat_w = ref 0.0 in
+  for c = 0 to cfg.cols - 1 do
+    total_flat_w := !total_flat_w +. pitch c
+  done;
+  let n_stripes =
+    Intmath.clamp ~lo:1 ~hi:8
+      (int_of_float (Float.round (sqrt (!total_flat_w /. array_h))))
+  in
+  let cols_per_stripe = Intmath.ceil_div cfg.cols n_stripes in
+  let left_w =
+    Float.max
+      (widest_cell lib d r.left_band)
+      (Float.max 2.0
+         (1.15 *. left_area /. (array_h *. float_of_int n_stripes)))
+  in
+  (* x offset of each column within its stripe *)
+  let col_x = Array.make cfg.cols left_w in
+  let die_w = ref 0.0 in
+  for c = 0 to cfg.cols - 1 do
+    col_x.(c) <-
+      (if c mod cols_per_stripe = 0 then left_w
+       else col_x.(c - 1) +. pitch (c - 1));
+    if col_x.(c) +. pitch c > !die_w then die_w := col_x.(c) +. pitch c
+  done;
+  let die_w = !die_w in
+  (* place stripes bottom-up, tracking each stripe's real height *)
+  let stripe_base = Array.make (n_stripes + 1) 0.0 in
+  for s = 0 to n_stripes - 1 do
+    let base = stripe_base.(s) in
+    let c_lo = s * cols_per_stripe
+    and c_hi = min cfg.cols ((s + 1) * cols_per_stripe) - 1 in
+    let stripe_used = ref array_h in
+    (* 1. bit cells on the exact grid *)
+    List.iter
+      (fun (i, row, col, copy) ->
+        if col >= c_lo && col <= c_hi then begin
+          x.(i) <- col_x.(col) +. ((float_of_int copy +. 0.5) *. cell_w);
+          y.(i) <- base +. ((float_of_int row +. 0.5) *. row_height)
+        end)
+      r.bitcells;
+    (* 2. multiplier/mux elements beside their cells *)
+    let elem_cursor = Array.make (max n_elems 1) 0.0 in
+    Array.iteri
+      (fun idx i ->
+        let elem = if per_elem = 0 then 0 else idx / per_elem in
+        let row = elem / cfg.cols and col = elem mod cfg.cols in
+        if col >= c_lo && col <= c_hi then begin
+          let w = inst_width lib d.Ir.insts.(i) in
+          x.(i) <-
+            col_x.(col)
+            +. (float_of_int cfg.mcr *. cell_w)
+            +. elem_cursor.(elem) +. (w /. 2.0);
+          elem_cursor.(elem) <- elem_cursor.(elem) +. w;
+          y.(i) <- base +. ((float_of_int row +. 0.5) *. row_height)
+        end)
+      mm_ids;
+    (* 3. adder/S&A strips fill the gap next to each column *)
+    for c = c_lo to c_hi do
+      let x0 = col_x.(c) +. (float_of_int cfg.mcr *. cell_w) +. mul_w in
+      let h =
+        fill_region lib d ~x ~y ~x0 ~y0:base ~width:(strip_w c)
+          per_col_strip.(c)
+      in
+      if h > !stripe_used then stripe_used := h
+    done;
+    (* 4. left band slice for this stripe's share of WL/align cells *)
+    let n_left = List.length r.left_band in
+    let slice =
+      List.filteri
+        (fun k _ ->
+          k >= s * n_left / n_stripes && k < (s + 1) * n_left / n_stripes)
+        r.left_band
+    in
+    let lh = fill_region lib d ~x ~y ~x0:0.0 ~y0:base ~width:left_w slice in
+    if lh > !stripe_used then stripe_used := lh;
+    (* 5. this stripe's word band: each word's OFU block directly below
+       its own columns ("peripheral logic around the array"), so the
+       S&A-to-OFU nets never cross stripes *)
+    let wb = m.Macro_rtl.wb in
+    let words = m.Macro_rtl.words in
+    let word_ids = Array.of_list r.word_band in
+    let n_word_ids = Array.length word_ids in
+    if words > 0 && n_word_ids > 0 then begin
+      let band_y = base +. !stripe_used in
+      let band_h = ref 0.0 in
+      for g = 0 to words - 1 do
+        let c_first = g * wb in
+        if c_first >= c_lo && c_first <= c_hi then begin
+          let c_last = min c_hi (c_first + wb - 1) in
+          let x0 = col_x.(c_first) in
+          let width =
+            Float.max 6.0 (col_x.(c_last) +. pitch c_last -. x0)
+          in
+          let lo = g * n_word_ids / words
+          and hi = (g + 1) * n_word_ids / words in
+          let ids = Array.to_list (Array.sub word_ids lo (hi - lo)) in
+          let h = fill_region lib d ~x ~y ~x0 ~y0:band_y ~width ids in
+          if h > !band_h then band_h := h
+        end
+      done;
+      stripe_used := !stripe_used +. !band_h
+    end;
+    stripe_base.(s + 1) <- base +. !stripe_used +. row_height
+  done;
+  (* 6. misc band (BL drivers etc.) across the full die at the bottom *)
+  let band_y = stripe_base.(n_stripes) in
+  let bot_h =
+    fill_region lib d ~x ~y ~x0:0.0 ~y0:band_y ~width:die_w r.misc_band
+  in
+  let die_h = band_y +. bot_h in
+  { design = d; style = Sdp; x; y; die_w; die_h; row_height }
+
+(** [scattered lib macro ~seed] — the unstructured baseline: every cell
+    shuffled row-major over a die of the same aspect and total area. *)
+let scattered lib (m : Macro_rtl.t) ~seed : t =
+  let d = m.Macro_rtl.design in
+  let n = Ir.n_insts d in
+  let x = Array.make n 0.0 and y = Array.make n 0.0 in
+  let total_area =
+    Array.fold_left
+      (fun a (inst : Ir.inst) ->
+        a +. (Library.params lib inst.kind inst.drive).Library.area_um2)
+      0.0 d.insts
+  in
+  (* same utilization as SDP roughly: 15 % whitespace *)
+  let die_w = sqrt (total_area /. 0.85) in
+  let ids = Array.init n Fun.id in
+  let rng = Rng.create seed in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = ids.(i) in
+    ids.(i) <- ids.(j);
+    ids.(j) <- t
+  done;
+  let die_h =
+    fill_region lib d ~x ~y ~x0:0.0 ~y0:0.0 ~width:die_w (Array.to_list ids)
+  in
+  { design = d; style = Scattered; x; y; die_w; die_h; row_height }
+
+let area_mm2 (t : t) = t.die_w *. t.die_h /. 1e6

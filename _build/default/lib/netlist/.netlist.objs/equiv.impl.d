@@ -1,0 +1,1 @@
+lib/netlist/equiv.ml: Array Intmath Ir List Rng Sim

@@ -1,0 +1,1 @@
+lib/netlist/ir.ml: Array Cell Hashtbl Library List Printf Queue Vec

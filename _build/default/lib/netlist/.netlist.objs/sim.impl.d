@@ -1,0 +1,1 @@
+lib/netlist/sim.ml: Array Cell Hashtbl Intmath Ir List Printf

@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Array Cell Format Hashtbl Ir Library List

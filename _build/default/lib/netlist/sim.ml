@@ -1,0 +1,143 @@
+(** Cycle-accurate functional simulator with toggle counting.
+
+    Drives a frozen design one clock cycle at a time: set the primary
+    inputs, {!eval} settles combinational logic in topological order,
+    {!clock} commits every flip-flop. SRAM storage bits are written through
+    {!set_weight} (the BL-driver write path), and every write that flips a
+    bit is charged SRAM write energy.
+
+    Toggle counts per net accumulate across the run; the power engine
+    multiplies them by per-cell switching energies. *)
+
+type t = {
+  d : Ir.design;
+  values : bool array;  (** current value per net *)
+  seq_state : bool array;  (** per instance id; only sequential slots used *)
+  storage_state : bool array;  (** per instance id; only storage slots used *)
+  toggles : int array;  (** output toggle count per net *)
+  en_cycles : int array;
+      (** per instance: cycles an enabled flip-flop saw its enable high —
+          the clock-gating duty the power model charges instead of every
+          cycle *)
+  mutable cycles : int;
+  mutable weight_flips : int;  (** SRAM bits flipped by writes *)
+  mutable weight_writes : int;  (** SRAM write operations *)
+}
+
+let create (d : Ir.design) =
+  let n = Ir.n_insts d in
+  let t =
+    {
+      d;
+      values = Array.make d.n_nets false;
+      seq_state = Array.make (max n 1) false;
+      storage_state = Array.make (max n 1) false;
+      toggles = Array.make d.n_nets 0;
+      en_cycles = Array.make (max n 1) 0;
+      cycles = 0;
+      weight_flips = 0;
+      weight_writes = 0;
+    }
+  in
+  t.values.(Ir.const1) <- true;
+  t
+
+let set_net t net v =
+  if t.values.(net) <> v then begin
+    t.values.(net) <- v;
+    t.toggles.(net) <- t.toggles.(net) + 1
+  end
+
+(** [set_bus t name v] drives the named input bus with the low bits of the
+    (possibly signed) integer [v]. *)
+let set_bus t name v =
+  let bus = Ir.input_bus t.d.src name in
+  Array.iteri (fun i net -> set_net t net ((v asr i) land 1 = 1)) bus
+
+(** [set_bus_bits t name bits] drives the named input bus bit-by-bit. *)
+let set_bus_bits t name bits =
+  let bus = Ir.input_bus t.d.src name in
+  assert (Array.length bits = Array.length bus);
+  Array.iteri (fun i net -> set_net t net bits.(i)) bus
+
+(** [read_bus t name] reads the named output bus as an unsigned integer. *)
+let read_bus t name =
+  let bus = Ir.output_bus t.d.src name in
+  Array.to_list bus
+  |> List.mapi (fun i net -> if t.values.(net) then 1 lsl i else 0)
+  |> List.fold_left ( lor ) 0
+
+(** [read_bus_signed t name] reads the named output bus as a signed
+    two's-complement integer. *)
+let read_bus_signed t name =
+  let bus = Ir.output_bus t.d.src name in
+  Intmath.sign_extend ~width:(Array.length bus) (read_bus t name)
+
+(** [set_weight t ~row ~col ~copy bit] writes one SRAM weight bit through
+    its (row, col, copy) address. *)
+let set_weight t ~row ~col ~copy bit =
+  match Hashtbl.find_opt t.d.weight_index (row, col, copy) with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Sim.set_weight: no weight bit (%d,%d,%d)" row col
+           copy)
+  | Some i ->
+      t.weight_writes <- t.weight_writes + 1;
+      if t.storage_state.(i) <> bit then begin
+        t.storage_state.(i) <- bit;
+        t.weight_flips <- t.weight_flips + 1
+      end;
+      set_net t t.d.insts.(i).outs.(0) bit
+
+(** [eval t] settles all combinational logic from the current inputs and
+    register/storage state. *)
+let eval t =
+  let d = t.d in
+  Array.iter
+    (fun i ->
+      let inst = d.insts.(i) in
+      let ins = Array.map (fun net -> t.values.(net)) inst.ins in
+      let outs = Cell.eval inst.kind ins in
+      Array.iteri (fun o net -> set_net t net outs.(o)) inst.outs)
+    d.comb_order
+
+(** [clock t] commits every flip-flop: a plain DFF captures D, an
+    enabled DFF captures D only when EN is high. New Q values are driven
+    onto the nets; call {!eval} afterwards to propagate. *)
+let clock t =
+  let d = t.d in
+  let next = Array.map (fun _ -> false) d.seq in
+  Array.iteri
+    (fun idx i ->
+      let inst = d.insts.(i) in
+      next.(idx) <-
+        (match inst.kind with
+        | Cell.Dff -> t.values.(inst.ins.(0))
+        | Cell.Dff_en ->
+            if t.values.(inst.ins.(1)) then begin
+              t.en_cycles.(i) <- t.en_cycles.(i) + 1;
+              t.values.(inst.ins.(0))
+            end
+            else t.seq_state.(i)
+        | _ -> assert false))
+    d.seq;
+  Array.iteri
+    (fun idx i ->
+      t.seq_state.(i) <- next.(idx);
+      set_net t t.d.insts.(i).outs.(0) next.(idx))
+    d.seq;
+  t.cycles <- t.cycles + 1
+
+(** [step t] = eval then clock: one full cycle with inputs already set. *)
+let step t =
+  eval t;
+  clock t
+
+(** [reset_stats t] clears toggle and cycle counters (state is kept), so
+    warm-up cycles can be excluded from power measurement. *)
+let reset_stats t =
+  Array.fill t.toggles 0 (Array.length t.toggles) 0;
+  Array.fill t.en_cycles 0 (Array.length t.en_cycles) 0;
+  t.cycles <- 0;
+  t.weight_flips <- 0;
+  t.weight_writes <- 0

@@ -1,0 +1,58 @@
+(** Netlist inventory: cell counts, area, leakage, per-subcircuit splits. *)
+
+type t = {
+  n_insts : int;
+  n_nets : int;
+  by_kind : (Cell.kind * int) list;
+  area_um2 : float;
+  leakage_nw : float;
+}
+
+let of_design (d : Ir.design) (lib : Library.t) =
+  let tbl = Hashtbl.create 32 in
+  let area = ref 0.0 and leak = ref 0.0 in
+  Array.iter
+    (fun (inst : Ir.inst) ->
+      let n = try Hashtbl.find tbl inst.kind with Not_found -> 0 in
+      Hashtbl.replace tbl inst.kind (n + 1);
+      let p = Library.params lib inst.kind inst.drive in
+      area := !area +. p.area_um2;
+      leak := !leak +. p.leakage_nw)
+    d.insts;
+  let by_kind =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    n_insts = Ir.n_insts d;
+    n_nets = d.n_nets;
+    by_kind;
+    area_um2 = !area;
+    leakage_nw = !leak;
+  }
+
+(** [area_by_subcircuit d lib] splits standard-cell area across the
+    subcircuit tags the builders attached — the per-subcircuit area
+    breakdown the paper's SCL tracks. *)
+let area_by_subcircuit (d : Ir.design) (lib : Library.t) =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (inst : Ir.inst) ->
+      let key =
+        match inst.tag with
+        | Ir.Subcircuit s -> s
+        | Ir.Weight_bit _ -> "memory_cell"
+        | Ir.Pipeline_reg _ -> "pipeline"
+        | Ir.Plain -> "other"
+      in
+      let p = Library.params lib inst.kind inst.drive in
+      let cur = try Hashtbl.find tbl key with Not_found -> 0.0 in
+      Hashtbl.replace tbl key (cur +. p.area_um2))
+    d.insts;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp_kind_counts fmt t =
+  List.iter
+    (fun (k, n) -> Format.fprintf fmt "%-12s %6d@." (Cell.kind_to_string k) n)
+    t.by_kind

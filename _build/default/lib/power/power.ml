@@ -1,0 +1,112 @@
+(** Switching-activity power estimation.
+
+    Consumes the toggle counters a {!Netlist.Sim} run accumulated and turns
+    them into watts: every output toggle costs the driving cell's internal
+    energy plus (1/2)·C_load·VDD², every clock edge costs each flip-flop its
+    clock-pin energy (inflated by a clock-tree factor), every SRAM bit flip
+    costs a write energy, and leakage integrates over time. This is the
+    same accounting a gate-level PrimeTime power run performs. *)
+
+(** Extra switching capacitance of the clock distribution, as a multiplier
+    on the flip-flops' clock-pin energy. *)
+let clock_tree_factor = 1.25
+
+(** SRAM write energy per flipped bit at nominal VDD (fJ). *)
+let sram_write_fj = 8.0
+
+type breakdown = (string * float) list
+(** watts per subcircuit label *)
+
+type report = {
+  dynamic_w : float;
+  clock_w : float;
+  leakage_w : float;
+  weight_update_w : float;
+  total_w : float;
+  energy_per_cycle_fj : float;
+  by_subcircuit : breakdown;
+}
+
+let tag_label = function
+  | Ir.Subcircuit s -> s
+  | Ir.Weight_bit _ -> "memory_cell"
+  | Ir.Pipeline_reg _ -> "pipeline"
+  | Ir.Plain -> "other"
+
+(** [estimate d lib sim ~freq_hz ~vdd ?wire_cap ()] converts the toggle
+    statistics of a finished simulation into a power report at the given
+    operating point. [sim] must have run at least one cycle. *)
+let estimate (d : Ir.design) (lib : Library.t) (sim : Sim.t) ~freq_hz ~vdd
+    ?(wire_cap = fun (_ : Ir.net) -> 0.0) () =
+  assert (sim.Sim.cycles > 0);
+  let node = lib.Library.node in
+  let esc = Voltage.energy_scale node ~vdd in
+  let lsc = Voltage.leakage_scale node ~vdd in
+  let sub = Hashtbl.create 16 in
+  let add_sub tag fj =
+    let key = tag_label tag in
+    let cur = try Hashtbl.find sub key with Not_found -> 0.0 in
+    Hashtbl.replace sub key (cur +. fj)
+  in
+  (* switching energy, accumulated in fJ over the whole run *)
+  let sw_fj = ref 0.0 in
+  Array.iteri
+    (fun net count ->
+      if count > 0 then
+        match d.driver.(net) with
+        | None -> () (* primary input: charged to the driver upstream *)
+        | Some (i, _o) ->
+            let inst = d.insts.(i) in
+            let p = Library.params lib inst.kind inst.drive in
+            let load = Ir.fanout_load d lib ~wire_cap net in
+            let per_toggle =
+              (p.energy_fj *. esc) +. (0.5 *. load *. vdd *. vdd)
+            in
+            let fj = float_of_int count *. per_toggle in
+            sw_fj := !sw_fj +. fj;
+            add_sub inst.tag fj)
+    sim.Sim.toggles;
+  (* clock network: plain flip-flops see every edge; enabled flip-flops
+     sit behind integrated clock gates and are only charged for their
+     enabled cycles *)
+  let cycles = float_of_int sim.Sim.cycles in
+  let clk_fj =
+    Array.fold_left
+      (fun acc i ->
+        let inst = d.insts.(i) in
+        let p = Library.params lib inst.kind inst.drive in
+        let active =
+          match inst.kind with
+          | Cell.Dff_en -> float_of_int sim.Sim.en_cycles.(i)
+          | _ -> cycles
+        in
+        acc +. (p.clock_energy_fj *. esc *. clock_tree_factor *. active))
+      0.0 d.seq
+  in
+  (* weight updates through the BL drivers *)
+  let wr_fj = float_of_int sim.Sim.weight_flips *. sram_write_fj *. esc in
+  let time_s = cycles /. freq_hz in
+  let to_w fj = fj *. 1e-15 /. time_s in
+  let leak_nw =
+    Array.fold_left
+      (fun acc (inst : Ir.inst) ->
+        let p = Library.params lib inst.kind inst.drive in
+        acc +. p.leakage_nw)
+      0.0 d.insts
+  in
+  let leakage_w = leak_nw *. 1e-9 *. lsc in
+  let dynamic_w = to_w !sw_fj in
+  let clock_w = to_w clk_fj in
+  let weight_update_w = to_w wr_fj in
+  let total_w = dynamic_w +. clock_w +. leakage_w +. weight_update_w in
+  {
+    dynamic_w;
+    clock_w;
+    leakage_w;
+    weight_update_w;
+    total_w;
+    energy_per_cycle_fj = (!sw_fj +. clk_fj +. wr_fj) /. cycles;
+    by_subcircuit =
+      Hashtbl.fold (fun k fj acc -> (k, to_w fj) :: acc) sub []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+  }

@@ -1,0 +1,1 @@
+lib/rtl/adder_tree.ml: Array Builder Cell Float Intmath Ir Library List Printf

@@ -1,0 +1,1 @@
+lib/rtl/bitcell.ml: Array Cell Ir

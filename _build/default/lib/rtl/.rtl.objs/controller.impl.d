@@ -1,0 +1,1 @@
+lib/rtl/controller.ml: Array Builder Intmath Ir List

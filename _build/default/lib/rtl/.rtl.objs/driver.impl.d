@@ -1,0 +1,1 @@
+lib/rtl/driver.ml: Array Builder Cell Intmath Ir Library

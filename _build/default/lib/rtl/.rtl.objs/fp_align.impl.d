@@ -1,0 +1,1 @@
+lib/rtl/fp_align.ml: Array Builder Driver Fpfmt Intmath Ir List

@@ -1,0 +1,1 @@
+lib/rtl/macro_rtl.ml: Adder_tree Array Bitcell Builder Cell Controller Driver Fp_align Golden Intmath Ir Library List Mulmux Ofu Precision Printf Shift_adder

@@ -1,0 +1,1 @@
+lib/rtl/mulmux.ml: Array Builder Cell Intmath Ir

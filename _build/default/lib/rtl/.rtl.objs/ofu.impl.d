@@ -1,0 +1,1 @@
+lib/rtl/ofu.ml: Array Builder Intmath Ir List

@@ -1,0 +1,1 @@
+lib/rtl/shift_adder.ml: Array Builder Intmath Ir

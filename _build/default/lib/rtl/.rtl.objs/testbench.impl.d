@@ -1,0 +1,1 @@
+lib/rtl/testbench.ml: Align Array Fpfmt Golden Intmath Macro_rtl Precision Printf Rng Sim

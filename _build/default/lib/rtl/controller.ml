@@ -1,0 +1,81 @@
+(** MAC sequencer: a small gate-level FSM that turns a [start] pulse into
+    the macro's internal control waveform (aligner enable, serializer
+    load, S&A enable/clear/negate) and a [done] pulse when the result is
+    registered. With it the macro is a two-wire peripheral; without it an
+    enclosing accelerator (or the test bench) drives the control pins
+    directly. The schedule encoded here is exactly the one
+    {!Testbench.run_mac} implements in software. *)
+
+type built = {
+  load : Ir.net;
+  sa_en : Ir.net;
+  sa_clr : Ir.net;
+  sa_neg : Ir.net;
+  align_en : Ir.net;
+  done_ : Ir.net;
+}
+
+type schedule = {
+  align_lat : int;
+  tree_lat : int;
+  serial_bits : int;
+  post_lat : int;
+  neg_on_last : bool;  (** sign cycle at the end (LSB-first) or the start *)
+}
+
+(** Total cycles from the start pulse to the done pulse. *)
+let total (s : schedule) =
+  s.align_lat + 1 + s.serial_bits + s.tree_lat + s.post_lat
+
+(* one-hot decode of counter value v *)
+let at c cnt v = Builder.equal_const c cnt v
+
+let any c nets =
+  match nets with
+  | [] -> Ir.const0
+  | first :: rest -> List.fold_left (Builder.or2 c) first rest
+
+(** [build c ~schedule ~start] emits the sequencer. [start] must be a
+    single-cycle pulse; a new MAC may be started the cycle after [done]
+    (the FSM is single-outstanding by construction). *)
+let build c ~(schedule : schedule) ~start : built =
+  let s = schedule in
+  let last = total s in
+  let w = Intmath.ceil_log2 (last + 2) in
+  (* running flag and cycle counter since start *)
+  let running = Builder.fresh c in
+  let cnt = Builder.fresh_bus c w in
+  let is_last = Builder.equal_const c cnt last in
+  let running_next =
+    Builder.or2 c start (Builder.and2 c running (Builder.inv c is_last))
+  in
+  Builder.dff_into c ~d:running_next ~q:running;
+  let inc, _ = Builder.rca_add c cnt (Builder.const_bus ~width:w 1) Ir.const0 in
+  let keep_counting = Builder.and2 c running (Builder.inv c is_last) in
+  let cnt_next =
+    Array.init w (fun i ->
+        (* start resets to 0; otherwise advance while running *)
+        let advanced = Builder.mux2 c ~sel:keep_counting cnt.(i) inc.(i) in
+        Builder.and2 c advanced (Builder.inv c start))
+  in
+  Array.iteri (fun i d -> Builder.dff_into c ~d ~q:cnt.(i)) cnt_next;
+  let gate net = Builder.and2 c running net in
+  let align_en =
+    if s.align_lat = 0 then Ir.const0
+    else
+      gate (any c (List.init s.align_lat (fun k -> at c cnt k)))
+  in
+  let load = gate (at c cnt s.align_lat) in
+  let first_acc = s.align_lat + 1 + s.tree_lat in
+  let sa_en =
+    gate
+      (any c (List.init s.serial_bits (fun k -> at c cnt (first_acc + k))))
+  in
+  let sa_clr = gate (at c cnt first_acc) in
+  let sa_neg =
+    if s.serial_bits <= 1 then Ir.const0
+    else if s.neg_on_last then gate (at c cnt (first_acc + s.serial_bits - 1))
+    else sa_clr
+  in
+  let done_ = gate is_last in
+  { load; sa_en; sa_clr; sa_neg; align_en; done_ }

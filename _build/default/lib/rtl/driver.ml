@@ -1,0 +1,58 @@
+(** WL/BL drivers (paper §II-B): buffering between the macro boundary and
+    the array.
+
+    The WL driver feeds input bits and read signals into the array rows;
+    its cost scales with the array width because each row bit fans out to
+    every column's multiplier. {!fanout_tree} builds a balanced buffer tree
+    capping the fanout per buffer, which is what keeps GHz-class clocks
+    reachable on wide arrays.
+
+    The BL driver writes weights into the SRAM columns. Weight writes
+    happen out-of-band in the simulator, so the BL drivers contribute
+    static area/leakage plus per-write energy (charged by the power engine
+    per flipped bit); {!bl_drivers} instantiates the column buffers so
+    area and leakage are accounted. *)
+
+(** [fanout_tree c net ~consumers ~max_fanout] returns [consumers] leaf
+    nets, each buffered so that no single cell drives more than
+    [max_fanout] loads. Consumer [i] should connect to [(result).(i)]. *)
+let fanout_tree c net ~consumers ~max_fanout =
+  assert (consumers >= 1 && max_fanout >= 2);
+  let rec expand srcs needed =
+    let n = Array.length srcs in
+    if n >= needed then Array.init needed (fun i -> srcs.(i * n / needed))
+    else
+      let grow = min max_fanout (Intmath.ceil_div needed n) in
+      let next =
+        Array.init (n * grow) (fun i -> Builder.buf c srcs.(i / grow))
+      in
+      expand next needed
+  in
+  if consumers <= max_fanout then Array.make consumers net
+  else expand [| net |] (Intmath.ceil_div consumers max_fanout)
+  |> fun groups ->
+  Array.init consumers (fun i ->
+      groups.(i * Array.length groups / consumers))
+
+(** [wl_input c ~bits] registers a row's parallel input at the macro
+    boundary (the WL driver's input latch). *)
+let wl_input c ~bits = Builder.reg_bus ~tag:(Ir.Pipeline_reg "wl_in") c bits
+
+(** [bl_drivers c ~cols] instantiates one write buffer per column; they
+    hold low during MAC (area/leakage only) — write energy is charged per
+    flipped SRAM bit by the power engine. *)
+let bl_drivers c ~cols =
+  for _ = 1 to cols do
+    ignore (Builder.buf c Ir.const0)
+  done
+
+(** Analytic weight-update timing: the BL driver must charge a column of
+    [rows] cell write ports within one weight-update clock. Used by the
+    searcher to check the weight-update frequency constraint. *)
+let weight_update_ps (lib : Library.t) ~rows =
+  let buf = Library.params lib Cell.Buf Cell.X4 in
+  let cell_write_cap_ff = 1.1 in
+  let load = float_of_int rows *. cell_write_cap_ff in
+  let sram_write_ps = 120.0 in
+  buf.intrinsic_ps.(0) +. (buf.drive_res_ps_per_ff *. load /. 8.0)
+  +. sram_write_ps

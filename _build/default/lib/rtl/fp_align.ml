@@ -1,0 +1,163 @@
+(** FP&INT alignment unit (paper §II-B): gate-level comparator tree plus
+    barrel shifters that turn a group of packed FP inputs into the signed
+    integers the bit-serial INT datapath consumes.
+
+    Pipeline depth is a search knob: 0 is fully combinational, 1 registers
+    the aligned outputs, 2 also registers the comparator-tree result in
+    front of the shifters, 3 additionally splits the comparator tree
+    itself — what tall arrays need. All pipeline registers are
+    enable-gated ([en]): alignment only works during the load window of
+    each MAC, so an integrated clock gate keeps its registers off the
+    clock for the serial cycles.
+
+    The behavioural reference is {!Align}; the generated logic matches it
+    bit-for-bit, including truncation toward zero. *)
+
+type built = {
+  aligned : Ir.net array array;  (** per row, signed [aligned_bits] wide *)
+  group_exp : Ir.net array;  (** shared effective exponent *)
+  latency : int;
+}
+
+(* Decode one packed input: effective exponent (subnormal -> 1) and
+   mantissa with the implicit bit resolved. *)
+let decode c (fmt : Fpfmt.t) (packed : Ir.net array) =
+  assert (Array.length packed = Fpfmt.storage_bits fmt);
+  let man = Array.sub packed 0 fmt.man_bits in
+  let exp = Array.sub packed fmt.man_bits fmt.exp_bits in
+  let sign = packed.(fmt.man_bits + fmt.exp_bits) in
+  let exp_nonzero = Builder.or_reduce c exp in
+  let eff_exp =
+    Array.mapi
+      (fun i b ->
+        if i = 0 then Builder.or2 c b (Builder.inv c exp_nonzero) else b)
+      exp
+  in
+  let mant = Array.append man [| exp_nonzero |] in
+  (sign, eff_exp, mant)
+
+(* Max of two exponents: a > b ? a : b. *)
+let max2 c a b =
+  let gt = Builder.greater_than c a b in
+  Builder.mux_bus c ~sel:gt b a
+
+(** [build c fmt ~pipeline ~en ~rows_packed] emits the unit for one group
+    of inputs (one packed bus per row). [en] gates every internal pipeline
+    register. *)
+let build c (fmt : Fpfmt.t) ~pipeline ~en
+    ~(rows_packed : Ir.net array array) : built =
+  let rows = Array.length rows_packed in
+  assert (rows >= 1);
+  (* buffer the enable across the unit: one leaf per row plus a rotating
+     pick for the shared tree registers *)
+  let en_leaves = Driver.fanout_tree c en ~consumers:rows ~max_fanout:16 in
+  let rot = ref 0 in
+  let next_en () =
+    rot := (!rot + 1) mod rows;
+    en_leaves.(!rot)
+  in
+  let reg_gated ?row tag bus =
+    let en =
+      match row with Some r -> en_leaves.(r) | None -> next_en ()
+    in
+    Builder.reg_bus_en ~tag:(Ir.Pipeline_reg tag) c ~en bus
+  in
+  let reg_gated1 ?row tag bit = (reg_gated ?row tag [| bit |]).(0) in
+  let decoded = ref (Array.map (decode c fmt) rows_packed) in
+  (* comparator tree for the maximum effective exponent, with an optional
+     mid-tree pipeline cut when pipeline >= 3 *)
+  let levels = if rows <= 1 then 0 else Intmath.ceil_log2 rows in
+  let cut_after = if pipeline >= 3 && levels >= 2 then levels / 2 else -1 in
+  let lat_tree = ref 0 in
+  let rec tree level exps =
+    match exps with
+    | [] -> Builder.const_bus ~width:fmt.exp_bits 1
+    | [ e ] -> e
+    | es ->
+        let rec pair = function
+          | [] -> []
+          | [ e ] -> [ e ]
+          | e1 :: e2 :: rest -> max2 c e1 e2 :: pair rest
+        in
+        let next = pair es in
+        let next =
+          if level = cut_after then begin
+            incr lat_tree;
+            (* rows' decoded values ride along in the same stage *)
+            decoded :=
+              Array.mapi
+                (fun r (s, e, m) ->
+                  ( reg_gated1 ~row:r "align_tree" s,
+                    reg_gated ~row:r "align_tree" e,
+                    reg_gated ~row:r "align_tree" m ))
+                !decoded;
+            List.map (reg_gated "align_tree") next
+          end
+          else next
+        in
+        tree (level + 1) next
+  in
+  let group_exp =
+    tree 1 (Array.to_list (Array.map (fun (_, e, _) -> e) !decoded))
+  in
+  let stage2_in, group_exp_out, lat2 =
+    if pipeline >= 2 then
+      ( Array.mapi
+          (fun r (s, e, m) ->
+            ( reg_gated1 ~row:r "align_exp" s,
+              reg_gated ~row:r "align_exp" e,
+              reg_gated ~row:r "align_exp" m ))
+          !decoded,
+        reg_gated "align_exp" group_exp,
+        1 )
+    else (!decoded, group_exp, 0)
+  in
+  (* broadcast the group exponent to every row through a buffer tree *)
+  let exp_leaves =
+    Array.map
+      (fun bit -> Driver.fanout_tree c bit ~consumers:rows ~max_fanout:16)
+      group_exp_out
+  in
+  let mag_bits = Fpfmt.aligned_mag_bits fmt in
+  let out_bits = Fpfmt.aligned_bits fmt in
+  let align_row r (sign, eff_exp, mant) =
+    let gexp = Array.map (fun leaves -> leaves.(r)) exp_leaves in
+    (* shift = group_exp - eff_exp, always >= 0 *)
+    let inv_e = Builder.inv_bus c eff_exp in
+    let shift, _ = Builder.rca_add c gexp inv_e Ir.const1 in
+    let ext = Builder.shift_left mant fmt.guard ~width:mag_bits in
+    (* the shifter only needs ceil_log2(mag_bits+1) stages: any larger
+       shift flushes the mantissa to zero, detected from the high shift
+       bits — saves half the mux stages for wide-exponent formats *)
+    let sb = min (Array.length shift) (Intmath.ceil_log2 (mag_bits + 1)) in
+    let low = Array.sub shift 0 sb in
+    let high = Array.sub shift sb (Array.length shift - sb) in
+    let shifted = Builder.barrel_shift_right c ext low in
+    let shifted =
+      if Array.length high = 0 then shifted
+      else begin
+        let keep = Builder.inv c (Builder.or_reduce c high) in
+        Array.map (fun b -> Builder.and2 c b keep) shifted
+      end
+    in
+    (* conditional two's complement: (shifted ^ sign) + sign *)
+    let zext = Builder.zero_extend shifted out_bits in
+    let xored = Array.map (fun b -> Builder.xor2 c b sign) zext in
+    let value, _ =
+      Builder.rca_add c xored (Builder.const_bus ~width:out_bits 0) sign
+    in
+    value
+  in
+  let aligned = Array.mapi align_row stage2_in in
+  let aligned, group_exp_final, lat1 =
+    if pipeline >= 1 then
+      ( Array.mapi (fun r bus -> reg_gated ~row:r "align_out" bus) aligned,
+        reg_gated "align_out" group_exp_out,
+        1 )
+    else (aligned, group_exp_out, 0)
+  in
+  {
+    aligned;
+    group_exp = group_exp_final;
+    latency = !lat_tree + lat2 + lat1;
+  }

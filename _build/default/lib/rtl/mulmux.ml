@@ -1,0 +1,68 @@
+(** Bitwise multiplier and multiplexer (paper §II-B).
+
+    One compute element selects one of the MCR stored weight copies and
+    multiplies it with the serial input bit. Three silicon styles:
+
+    - [Tg_nor]: 2T transmission-gate select + NOR multiply — the commonly
+      adopted design point;
+    - [Pass_1t]: 1T passing-gate mux — area-efficient but the threshold
+      drop costs speed and leakage (AutoDCIM's choice);
+    - [Oai22_fused]: OAI22 gate fusing multiplier and 2:1 mux — saves
+      wiring but does not scale beyond MCR = 2. *)
+
+exception Unsupported_mcr of { variant : Cell.mul_kind; mcr : int }
+
+(** [check_mcr variant mcr] validates the variant/MCR pairing the search
+    space enforces. *)
+let check_mcr variant mcr =
+  if mcr < 1 || not (Intmath.is_pow2 mcr) then
+    invalid_arg "Mulmux: MCR must be a positive power of two";
+  match variant with
+  | Cell.Oai22_fused when mcr > 2 -> raise (Unsupported_mcr { variant; mcr })
+  | Cell.Oai22_fused | Cell.Tg_nor | Cell.Pass_1t -> ()
+
+(* Mux tree over the weight copies using the variant's selector cell. *)
+let rec select_tree c ~mux_kind (weights : Ir.net array) (sel : Ir.net array) =
+  match Array.length weights with
+  | 1 -> weights.(0)
+  | n ->
+      assert (n mod 2 = 0 && Array.length sel >= 1);
+      let half = n / 2 in
+      let lo = Array.sub weights 0 half
+      and hi = Array.sub weights half half in
+      let sel_rest = Array.sub sel 0 (Array.length sel - 1) in
+      let s = sel.(Array.length sel - 1) in
+      let a = select_tree c ~mux_kind lo sel_rest
+      and b = select_tree c ~mux_kind hi sel_rest in
+      Builder.mux2 ~kind:mux_kind c ~sel:s a b
+
+(** [build c ~variant ~x ~weights ~sel] emits one compute element:
+    [weights] are the MCR stored-bit nets, [sel] the log2(MCR) copy-select
+    nets, [x] the serial input bit. Returns the product bit. *)
+let build c ~variant ~x ~(weights : Ir.net array) ~(sel : Ir.net array) =
+  let mcr = Array.length weights in
+  check_mcr variant mcr;
+  assert (Array.length sel = Intmath.ceil_log2 (max mcr 1));
+  match variant with
+  | Cell.Oai22_fused ->
+      let w0 = weights.(0) in
+      let w1 = if mcr = 2 then weights.(1) else weights.(0) in
+      let s = if mcr = 2 then sel.(0) else Ir.const0 in
+      let o = Builder.fresh c in
+      Builder.add c (Cell.Mul Cell.Oai22_fused) ~ins:[| x; w0; w1; s |]
+        ~outs:[| o |];
+      o
+  | Cell.Tg_nor | Cell.Pass_1t ->
+      let mux_kind =
+        match variant with
+        | Cell.Tg_nor -> Cell.Tgmux2
+        | Cell.Pass_1t -> Cell.Ptmux2
+        | Cell.Oai22_fused -> assert false
+      in
+      let w =
+        if mcr = 1 then weights.(0)
+        else select_tree c ~mux_kind weights sel
+      in
+      let o = Builder.fresh c in
+      Builder.add c (Cell.Mul variant) ~ins:[| x; w |] ~outs:[| o |];
+      o

@@ -1,0 +1,105 @@
+(** Output fusion unit (OFU): combines the per-column S&A accumulations of
+    one weight word "stage by stage, from lower bit-width to higher
+    bit-width" (paper §II-B).
+
+    Column j of a word carries weight 2^j; for signed weights (width >= 2)
+    the MSB column has negative weight (two's complement). Rather than
+    negating that column up front (a full extra ripple chain on the
+    critical path), the aggregate carries a [negative] flag and the fusion
+    level that consumes it subtracts — one inverter row folded into the
+    adder. Fusion is a binary tree: level k combines aggregates of 2^k
+    columns, shifting the upper half left by 2^k. All arithmetic is
+    sign-extended to the final result width up front.
+
+    The stages are exposed separately ({!prepare}, {!fuse}) so the macro
+    composer can implement the searcher's OFU retiming (tt4: move the
+    first fusion level in front of the S&A/OFU pipeline register) and the
+    extra pipeline stage (tt5: [pipe_after_level]). *)
+
+(** A partial aggregate: its bus and whether it still carries a pending
+    negative sign. *)
+type part = { bus : Ir.net array; negative : bool }
+
+(** [prepare c ~signed_weights ~result_width columns] wraps every column
+    aggregate as a part at its natural width and flags the MSB column of a
+    signed word as negative. *)
+let prepare c ~signed_weights ~result_width (columns : Ir.net array array) =
+  ignore c;
+  ignore result_width;
+  let wb = Array.length columns in
+  assert (wb >= 1);
+  Array.to_list
+    (Array.mapi
+       (fun j b ->
+         { bus = b; negative = signed_weights && wb > 1 && j = wb - 1 })
+       columns)
+
+(** [fuse_level c ~result_width ~level parts] runs one fusion level:
+    adjacent aggregates are combined, the upper one shifted by 2^level and
+    subtracted when its sign flag is pending. Adder widths grow with the
+    level ("from lower bit-width to higher bit-width") and are capped at
+    the result width, so early levels stay narrow and fast. *)
+let fuse_level ?(arch = Builder.Rca) c ~result_width ~level parts =
+  let shift = Intmath.pow2 level in
+  let rec pair = function
+    | [] -> []
+    | [ p ] -> [ p ]
+    | lo :: hi :: rest ->
+        let hi_w = Array.length hi.bus + shift in
+        let hi_sh = Builder.shift_left hi.bus shift ~width:hi_w in
+        let w_out =
+          min result_width (1 + max (Array.length lo.bus) hi_w)
+        in
+        assert (not lo.negative);
+        let bus =
+          if hi.negative then
+            Builder.sub_signed ~arch c lo.bus hi_sh ~width:w_out
+          else Builder.add_signed ~arch c lo.bus hi_sh ~width:w_out
+        in
+        { bus; negative = false } :: pair rest
+  in
+  pair parts
+
+(** [reg_part c ~tag p] registers an aggregate, keeping its sign flag. *)
+let reg_part c ~tag p = { p with bus = Builder.reg_bus ~tag c p.bus }
+
+(** [fuse c ~result_width ~from_level ~pipe_after_level parts] runs the
+    remaining fusion levels starting at [from_level]; returns the result
+    bus and the number of pipeline registers inserted. *)
+let fuse ?(arch = Builder.Rca) c ~result_width ~from_level ~pipe_after_level
+    parts =
+  let latency = ref 0 in
+  let rec levels k parts =
+    match parts with
+    | [] -> Builder.const_bus ~width:result_width 0
+    | [ p ] ->
+        if p.negative then Builder.neg_signed c p.bus ~width:result_width
+        else Builder.sign_extend p.bus result_width
+    | _ ->
+        let combined = fuse_level ~arch c ~result_width ~level:k parts in
+        let combined =
+          if pipe_after_level = Some k then begin
+            incr latency;
+            List.map (reg_part c ~tag:(Ir.Pipeline_reg "ofu_pipe")) combined
+          end
+          else combined
+        in
+        levels (k + 1) combined
+  in
+  let result = levels from_level parts in
+  (result, !latency)
+
+type built = { result : Ir.net array; latency : int }
+
+(** [build c ~signed_weights ~result_width ~pipe_after_level ~columns] is
+    the whole unit: prepare then fuse from level 0. *)
+let build ?(arch = Builder.Rca) c ~signed_weights ~result_width
+    ~pipe_after_level ~(columns : Ir.net array array) : built =
+  let parts = prepare c ~signed_weights ~result_width columns in
+  let result, latency =
+    fuse ~arch c ~result_width ~from_level:0 ~pipe_after_level parts
+  in
+  { result; latency }
+
+(** Number of fusion levels for a [wb]-column word. *)
+let n_levels wb = if wb <= 1 then 0 else Intmath.ceil_log2 wb

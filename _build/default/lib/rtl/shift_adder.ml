@@ -1,0 +1,131 @@
+(** Shift-and-adder (S&A): the bit-serial accumulator behind each column
+    tree (paper §II-B).
+
+    Input bits are streamed MSB-first, so the accumulator runs the Horner
+    recurrence [acc' = 2*acc ± S] — the shift-by-one is pure wiring, and
+    the sign cycle (the input MSB, two's complement) subtracts instead of
+    adding. Control:
+
+    - [clr]  start a new accumulation (the shifted feedback is masked);
+    - [neg]  subtract this cycle's column sum (asserted on the sign bit);
+    - [en]   accumulate this cycle (deasserted while a result is drained).
+
+    Three library variants:
+
+    - [Lsb_right] (the conventional choice, and the default): input bits
+      stream LSB-first and the accumulator shifts *right* while fresh
+      partial sums are added only at the top [log2 rows + 2] bits; low
+      result bits finalize one per cycle and stop toggling. Narrow adder,
+      lowest switching energy. The sign cycle (the input MSB, two's
+      complement) is the *last* serial cycle and subtracts.
+    - [Ripple]: MSB-first Horner recurrence [acc' = 2*acc ± S] through a
+      full-width ripple adder — structurally simplest, but the full carry
+      chain bounds the clock and the left shift toggles every bit each
+      cycle. Sign cycle first.
+    - [Carry_save]: MSB-first Horner with the accumulator kept as a
+      sum/carry register pair and one full-adder row of logic per cycle; a
+      carry-select resolver after the registers produces the integer for
+      the OFU stage. Fastest cycle, at the cost of a second register row
+      plus the resolver.
+
+    Width: [ceil_log2 rows + 1 + serial_bits] covers the exact result with
+    one bit of margin. *)
+
+type kind = Lsb_right | Ripple | Carry_save
+
+let kind_name = function
+  | Lsb_right -> "lsb_right"
+  | Ripple -> "ripple"
+  | Carry_save -> "carry_save"
+
+(** Whether the variant consumes serial input bits LSB-first (sign cycle
+    last) rather than MSB-first (sign cycle first). The serializer and the
+    control schedule follow this. *)
+let lsb_first = function Lsb_right -> true | Ripple | Carry_save -> false
+
+type built = { acc : Ir.net array }
+
+(** [width ~rows ~serial_bits] is the accumulator width. *)
+let width ~rows ~serial_bits = Intmath.ceil_log2 rows + 1 + serial_bits
+
+let build_ripple c ~w ~(sum : Ir.net array) ~neg ~clr ~en =
+  let q = Builder.fresh_bus c w in
+  let not_clr = Builder.inv c clr in
+  let shifted = Builder.shift_left q 1 ~width:w in
+  let base =
+    Array.map
+      (fun b -> if b = Ir.const0 then Ir.const0 else Builder.and2 c b not_clr)
+      shifted
+  in
+  let s_ext = Builder.zero_extend sum w in
+  let next = Builder.addsub_signed c ~sub:neg base s_ext ~width:w in
+  Array.iteri (fun i d -> Builder.dff_en_into c ~en ~d ~q:q.(i)) next;
+  { acc = q }
+
+let build_carry_save c ~w ~(sum : Ir.net array) ~neg ~clr ~en =
+  let qs = Builder.fresh_bus c w and qc = Builder.fresh_bus c w in
+  let not_clr = Builder.inv c clr in
+  let mask bus =
+    Array.map
+      (fun b -> if b = Ir.const0 then Ir.const0 else Builder.and2 c b not_clr)
+      (Builder.shift_left bus 1 ~width:w)
+  in
+  let base_s = mask qs and base_c = mask qc in
+  let s_ext = Builder.zero_extend sum w in
+  (* conditional two's complement of the addend: invert via XOR with neg
+     (zero-extension inverts to all-neg above the popcount) and inject the
+     +1 into the free slot of the bit-0 adder (the shifted feedbacks are
+     zero there) *)
+  let s' = Array.map (fun b -> Builder.xor2 c b neg) s_ext in
+  for i = 0 to w - 1 do
+    let a, b, d =
+      if i = 0 then (s'.(0), neg, Ir.const0)
+      else (s'.(i), base_s.(i), base_c.(i))
+    in
+    let sum_bit, carry_bit = Builder.fa c a b d in
+    Builder.dff_en_into c ~en ~d:sum_bit ~q:qs.(i);
+    if i + 1 < w then Builder.dff_en_into c ~en ~d:carry_bit ~q:qc.(i + 1)
+  done;
+  (* qc bit 0 is never written: it is always zero by construction *)
+  Builder.dff_en_into c ~en ~d:Ir.const0 ~q:qc.(0);
+  (* resolve to an integer for the OFU stage; carry-select keeps the
+     resolver off the critical path (this is the speed-oriented variant) *)
+  let resolved, _ = Builder.carry_select_add c qs qc Ir.const0 ~block:4 in
+  { acc = resolved }
+
+let build_lsb_right c ~w ~serial_bits ~(sum : Ir.net array) ~neg ~clr ~en =
+  let ts1 = w - serial_bits + 1 in
+  (* the active top slice: popcount width + 1 *)
+  let q = Builder.fresh_bus c w in
+  let not_clr = Builder.inv c clr in
+  (* right shift: bit i takes q.(i+1); the vacated top bit refills from
+     the top-slice adder below *)
+  let base =
+    Array.init w (fun i ->
+        if i + 1 < w then Builder.and2 c q.(i + 1) not_clr else Ir.const0)
+  in
+  let lo = serial_bits - 1 in
+  let base_hi = Array.sub base lo ts1 in
+  let s_ext = Builder.zero_extend sum ts1 in
+  let next_hi = Builder.addsub_signed c ~sub:neg base_hi s_ext ~width:ts1 in
+  for i = 0 to w - 1 do
+    let d = if i < lo then base.(i) else next_hi.(i - lo) in
+    Builder.dff_en_into c ~en ~d ~q:q.(i)
+  done;
+  { acc = q }
+
+(** [build c ~kind ~rows ~serial_bits ~sum ~neg ~clr ~en] emits one
+    column's S&A and returns its (resolved) accumulator bus, signed. [sum]
+    is the unsigned column popcount from the adder tree. *)
+let build ?(kind = Lsb_right) c ~rows ~serial_bits ~(sum : Ir.net array) ~neg
+    ~clr ~en : built =
+  let w = width ~rows ~serial_bits in
+  (* local control buffering: each control wire fans out to the whole
+     accumulator width, so re-buffer once per column *)
+  let neg = Builder.buf c neg
+  and clr = Builder.buf c clr
+  and en = Builder.buf c en in
+  match kind with
+  | Lsb_right -> build_lsb_right c ~w ~serial_bits ~sum ~neg ~clr ~en
+  | Ripple -> build_ripple c ~w ~sum ~neg ~clr ~en
+  | Carry_save -> build_carry_save c ~w ~sum ~neg ~clr ~en

@@ -1,0 +1,249 @@
+(** Macro test benches: weight loading, single verified MACs, and streaming
+    stimulus for power measurement.
+
+    The single-MAC bench is the repository's DRC/LVS/post-simulation
+    sign-off equivalent: it drives the generated netlist cycle by cycle and
+    compares every word's result against {!Golden}. The streaming bench
+    issues back-to-back MACs at full throughput (one MAC per [db] cycles)
+    with configurable input/weight sparsity, which is what the paper's
+    power measurements use (12.5 % input, 50 % weight sparsity). *)
+
+exception
+  Mismatch of {
+    word : int;
+    expected : int;
+    got : int;
+    detail : string;
+  }
+
+(** [load_weights m sim ~copy weights] writes [weights.(word).(row)]
+    (signed [wb]-bit integers) into weight copy [copy]. *)
+let load_weights (m : Macro_rtl.t) sim ~copy
+    (weights : int array array) =
+  assert (Array.length weights = m.words);
+  Array.iteri
+    (fun g per_row ->
+      assert (Array.length per_row = m.cfg.rows);
+      Array.iteri
+        (fun r w ->
+          for j = 0 to m.wb - 1 do
+            Sim.set_weight sim ~row:r ~col:((g * m.wb) + j) ~copy
+              ((w asr j) land 1 = 1)
+          done)
+        per_row)
+    weights
+
+let is_fp (m : Macro_rtl.t) =
+  match m.cfg.input_prec with
+  | Precision.Fp _ -> true
+  | Precision.Int _ -> false
+
+let set_controls sim ~load ~sa_en ~sa_clr ~sa_neg =
+  Sim.set_bus sim "load" (if load then 1 else 0);
+  Sim.set_bus sim "sa_en" (if sa_en then 1 else 0);
+  Sim.set_bus sim "sa_clr" (if sa_clr then 1 else 0);
+  Sim.set_bus sim "sa_neg" (if sa_neg then 1 else 0)
+
+let present_inputs (m : Macro_rtl.t) sim (inputs : int array) =
+  assert (Array.length inputs = m.cfg.rows);
+  Array.iteri
+    (fun r v -> Sim.set_bus sim (Printf.sprintf "x%d" r) v)
+    inputs
+
+(** [run_mac m sim ~inputs] executes one complete MAC with the raw input
+    words [inputs] (signed integers for INT, packed bit patterns for FP)
+    and returns the per-word signed results. The accumulator schedule
+    follows the macro's latency fields.
+
+    [active_bits] is the paper's runtime bit-width flexibility: an INT
+    macro built for [db]-bit inputs executes a narrower precision in that
+    many serial cycles — the serializer simply stops early (MSB-first
+    datapaths take the value pre-shifted into the top bits, LSB-first
+    datapaths consume the low bits directly) and the sign cycle moves to
+    the narrow width's sign position. Throughput scales accordingly. *)
+let run_mac ?active_bits (m : Macro_rtl.t) sim ~(inputs : int array) =
+  let ab =
+    match active_bits with
+    | None -> m.db
+    | Some b ->
+        assert (b >= 1 && b <= m.db);
+        assert (not (is_fp m));
+        b
+  in
+  let inputs =
+    if ab = m.db || m.neg_on_last then inputs
+    else Array.map (fun v -> v lsl (m.db - ab)) inputs
+  in
+  present_inputs m sim inputs;
+  set_controls sim ~load:false ~sa_en:false ~sa_clr:false ~sa_neg:false;
+  if is_fp m then Sim.set_bus sim "align_en" 1;
+  for _ = 1 to m.align_lat do
+    Sim.step sim
+  done;
+  if is_fp m then Sim.set_bus sim "align_en" 0;
+  set_controls sim ~load:true ~sa_en:false ~sa_clr:false ~sa_neg:false;
+  Sim.step sim;
+  let last = m.tree_lat + ab - 1 in
+  for k = 0 to last do
+    let first = k = m.tree_lat in
+    let sign_cycle = if m.neg_on_last then k = last else first in
+    set_controls sim ~load:false
+      ~sa_en:(k >= m.tree_lat)
+      ~sa_clr:first
+      ~sa_neg:(sign_cycle && ab > 1);
+    Sim.step sim
+  done;
+  set_controls sim ~load:false ~sa_en:false ~sa_clr:false ~sa_neg:false;
+  for _ = 1 to m.post_lat do
+    Sim.step sim
+  done;
+  Sim.eval sim;
+  (* LSB-first datapaths place a narrow result at the full-width scale
+     (each partial sum lands [db - ab] positions higher); exact shift back *)
+  let scale = if m.neg_on_last then m.db - ab else 0 in
+  Array.init m.words (fun g ->
+      Sim.read_bus_signed sim (Printf.sprintf "result%d" g) asr scale)
+
+(** [run_mac_auto m sim ~inputs] — the controller-driven variant of
+    {!run_mac}: pulse [start], hold the inputs, wait for the [done] pulse
+    (bounded by twice the expected latency) and read the results. Only
+    valid for macros built with [with_controller = true]. *)
+let run_mac_auto (m : Macro_rtl.t) sim ~(inputs : int array) =
+  assert m.cfg.with_controller;
+  present_inputs m sim inputs;
+  Sim.set_bus sim "start" 1;
+  Sim.step sim;
+  Sim.set_bus sim "start" 0;
+  let limit = 2 * (Macro_rtl.mac_latency m + 2) in
+  let rec wait k =
+    if k > limit then failwith "run_mac_auto: done never asserted";
+    Sim.eval sim;
+    if Sim.read_bus sim "done" = 1 then ()
+    else begin
+      Sim.clock sim;
+      wait (k + 1)
+    end
+  in
+  wait 0;
+  Array.init m.words (fun g ->
+      Sim.read_bus_signed sim (Printf.sprintf "result%d" g))
+
+(** Datapath view of the raw inputs: identity for INT, behavioural
+    alignment for FP (also returns the expected group exponent). *)
+let datapath_inputs (m : Macro_rtl.t) (inputs : int array) =
+  match m.cfg.input_prec with
+  | Precision.Int _ -> (inputs, None)
+  | Precision.Fp fmt ->
+      let a = Align.align fmt inputs in
+      (a.values, Some a.group_exp)
+
+(** [check_mac m sim ~weights ~inputs] runs one MAC and raises
+    {!Mismatch} if any word (or the FP group exponent) deviates from the
+    golden model. [weights] are the datapath (signed integer) weights. *)
+let check_mac (m : Macro_rtl.t) sim ~(weights : int array array)
+    ~(inputs : int array) =
+  let results = run_mac m sim ~inputs in
+  let xs, exp_expected = datapath_inputs m inputs in
+  (match exp_expected with
+  | Some e ->
+      let got = Sim.read_bus sim "group_exp" in
+      if got <> e then
+        raise
+          (Mismatch
+             { word = -1; expected = e; got; detail = "group exponent" })
+  | None -> ());
+  Array.iteri
+    (fun g got ->
+      let expected = Golden.dot ~weights:weights.(g) ~inputs:xs in
+      if got <> expected then
+        raise
+          (Mismatch { word = g; expected; got; detail = "word result" }))
+    results;
+  results
+
+(** Random raw input for the macro's input precision: a signed integer for
+    INT (unsigned bit for INT1), a packed pattern for FP. [density] is the
+    probability of a non-zero value (sparsity = 1 - density).
+
+    With [realistic] (used by the power workloads), FP exponents cluster
+    around the bias the way trained-network activations do, so most
+    mantissas survive alignment; uniform exponents (the verification
+    default) would flush almost everything to zero and understate FP
+    datapath activity. *)
+let random_input ?(realistic = false) rng (m : Macro_rtl.t) ~density =
+  match m.cfg.input_prec with
+  | Precision.Int 1 -> if Rng.float rng 1.0 < density then 1 else 0
+  | Precision.Int w -> Rng.sparse_signed rng ~width:w ~density
+  | Precision.Fp fmt ->
+      if Rng.float rng 1.0 >= density then 0
+      else if not realistic then Fpfmt.random rng fmt
+      else begin
+        let bias = Fpfmt.bias fmt in
+        let exp =
+          Intmath.clamp ~lo:1
+            ~hi:(Intmath.pow2 fmt.Fpfmt.exp_bits - 1)
+            (bias + Rng.int rng 5 - 2)
+        in
+        let man = Rng.int rng (Intmath.pow2 fmt.Fpfmt.man_bits) in
+        Fpfmt.pack fmt ~sign:(Rng.bit rng ~p1:0.5 = 1) ~exp ~man
+      end
+
+(** Random datapath weight. *)
+let random_weight rng (m : Macro_rtl.t) ~density =
+  if m.wb = 1 then if Rng.float rng 1.0 < density then 1 else 0
+  else Rng.sparse_signed rng ~width:m.wb ~density
+
+let random_weights rng (m : Macro_rtl.t) ~density =
+  Array.init m.words (fun _ ->
+      Array.init m.cfg.rows (fun _ -> random_weight rng m ~density))
+
+(** [verify m ~seed ~batches] builds a simulator, loads random weights and
+    checks [batches] random MACs (covering every weight copy). Returns
+    unit or raises {!Mismatch}. *)
+let verify (m : Macro_rtl.t) ~seed ~batches =
+  let rng = Rng.create seed in
+  let sim = Sim.create m.design in
+  if m.cfg.mcr > 1 then Sim.set_bus sim "copy_sel" 0;
+  for copy = 0 to m.cfg.mcr - 1 do
+    let weights = random_weights rng m ~density:1.0 in
+    load_weights m sim ~copy weights;
+    if m.cfg.mcr > 1 then Sim.set_bus sim "copy_sel" copy;
+    for _ = 1 to batches do
+      let inputs =
+        Array.init m.cfg.rows (fun _ -> random_input rng m ~density:1.0)
+      in
+      ignore (check_mac m sim ~weights ~inputs)
+    done
+  done
+
+(** [run_stream m sim ~rng ~macs ~input_density] issues [macs] back-to-back
+    MACs at full pipeline rate (one per [db] cycles) for power
+    measurement; weights must already be loaded. Statistics should be read
+    from [sim] afterwards. *)
+let run_stream (m : Macro_rtl.t) sim ~rng ~macs ~input_density =
+  let db = m.db in
+  let total = m.align_lat + (macs * db) + m.tree_lat + m.post_lat + 1 in
+  for cyc = 0 to total - 1 do
+    (* present the inputs of MAC i during [i*db, (i+1)*db) *)
+    if cyc mod db = 0 && cyc / db < macs then
+      present_inputs m sim
+        (Array.init m.cfg.rows (fun _ ->
+             random_input ~realistic:true rng m ~density:input_density));
+    let load = cyc >= m.align_lat && (cyc - m.align_lat) mod db = 0
+               && (cyc - m.align_lat) / db < macs in
+    let k = cyc - m.align_lat - 1 - m.tree_lat in
+    (* accumulation window: continuous once the pipeline fills *)
+    let first_fill = m.align_lat + 1 + m.tree_lat in
+    let sa_en = cyc >= first_fill && k < macs * db in
+    let sa_clr = sa_en && k mod db = 0 in
+    let sa_neg =
+      sa_en && db > 1
+      && k mod db = (if m.neg_on_last then db - 1 else 0)
+    in
+    if is_fp m then
+      (* the aligner pipeline advances during each MAC's load window *)
+      Sim.set_bus sim "align_en"
+        (if cyc mod db < max m.align_lat 1 && cyc / db < macs then 1 else 0);
+    set_controls sim ~load ~sa_en ~sa_clr ~sa_neg;
+    Sim.step sim
+  done

@@ -1,0 +1,1 @@
+lib/scl/persist.ml: Hashtbl List Ppa Printf Scl String

@@ -1,0 +1,1 @@
+lib/scl/ppa.ml: Float Format

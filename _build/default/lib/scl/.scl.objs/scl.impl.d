@@ -1,0 +1,1 @@
+lib/scl/scl.ml: Adder_tree Cell Fpfmt Golden Hashtbl Library List Macro_rtl Ppa Precision Printf Shift_adder Standalone

@@ -1,0 +1,1 @@
+lib/scl/standalone.ml: Adder_tree Array Builder Cell Driver Fp_align Fpfmt Intmath Ir Library List Mulmux Ofu Power Ppa Printf Rng Shift_adder Sim Sta Stats

@@ -1,0 +1,1 @@
+lib/search/design_point.ml: Adder_tree Array Cell Driver Hashtbl Ir Library List Macro_rtl Power Printf Rng Sim Sizing Spec Sta Stats Testbench Voltage

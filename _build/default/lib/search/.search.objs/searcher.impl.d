@@ -1,0 +1,1 @@
+lib/search/searcher.ml: Adder_tree Cell Design_point List Macro_rtl Pareto Printf Scl Shift_adder Spec

@@ -1,0 +1,1 @@
+lib/search/spec.ml: Macro_rtl Node Precision Printf Voltage

@@ -1,0 +1,137 @@
+(** One evaluated candidate of the searcher: a macro configuration, its
+    built netlist, and its measured (pre-layout) PPA at the spec's
+    operating point.
+
+    Evaluation = build the netlist, size the critical path toward the
+    budget, run static timing, stream a sparse MAC workload for switching
+    power, and check both frequency constraints. This plays the role the
+    LUT-composed estimate plays in the paper's searcher, with the final
+    netlist numbers always taken from the real structure. *)
+
+type t = {
+  cfg : Macro_rtl.config;
+  macro : Macro_rtl.t;
+  sta : Sta.report;  (** post-sizing *)
+  crit_ps : float;  (** nominal-voltage critical path after sizing *)
+  upsized : int;  (** instances upsized by timing-driven sizing *)
+  area_um2 : float;  (** standard-cell area (pre-layout) *)
+  power_w : float;  (** at the spec's frequency/voltage, streaming MACs *)
+  meets_mac : bool;
+  meets_wupd : bool;
+  tops : float;  (** native-precision TOPS at the spec frequency *)
+}
+
+(** Activity assumptions during search-time power evaluation. *)
+let search_input_density = 0.5
+
+let search_weight_density = 0.5
+let search_macs = 6
+
+(** [throughput_tops m ~freq_hz] — native ops: one MAC = 2 ops, one word
+    per [db] cycles per column group. *)
+let throughput_tops (m : Macro_rtl.t) ~freq_hz =
+  2.0
+  *. float_of_int (m.cfg.rows * m.words)
+  *. freq_hz
+  /. float_of_int (Macro_rtl.serial_cycles m)
+  /. 1e12
+
+(** [measure_power lib m ~freq_hz ~vdd ~input_density ~weight_density
+    ~macs] loads sparse random weights and streams [macs] back-to-back
+    MACs. Exposed for the experiment harness, which uses the paper's
+    measurement sparsity. *)
+let measure_power ?(seed = 0xD1C) lib (m : Macro_rtl.t) ~freq_hz ~vdd
+    ~input_density ~weight_density ~macs =
+  let rng = Rng.create seed in
+  let sim = Sim.create m.design in
+  if m.cfg.mcr > 1 then Sim.set_bus sim "copy_sel" 0;
+  Testbench.load_weights m sim ~copy:0
+    (Testbench.random_weights rng m ~density:weight_density);
+  Sim.reset_stats sim;
+  Testbench.run_stream m sim ~rng ~macs ~input_density;
+  Power.estimate m.design lib sim ~freq_hz ~vdd ()
+
+(** [evaluate lib spec cfg] builds and measures one candidate. *)
+let evaluate (lib : Library.t) (spec : Spec.t) (cfg : Macro_rtl.config) : t =
+  let macro = Macro_rtl.build lib cfg in
+  let budget = Spec.search_budget_ps spec lib.Library.node in
+  let sized = Sizing.speed_up macro.design lib ~target_ps:budget in
+  let sta = Sta.analyze macro.design lib in
+  let stats = Stats.of_design macro.design lib in
+  let power =
+    measure_power lib macro ~freq_hz:spec.Spec.mac_freq_hz ~vdd:spec.Spec.vdd
+      ~input_density:search_input_density
+      ~weight_density:search_weight_density ~macs:search_macs
+  in
+  let wupd_ps =
+    Driver.weight_update_ps lib ~rows:spec.Spec.rows
+    *. Voltage.delay_scale lib.Library.node ~vdd:spec.Spec.vdd
+  in
+  {
+    cfg;
+    macro;
+    sta;
+    crit_ps = sta.Sta.crit_ps;
+    upsized = sized.Sizing.upsized;
+    area_um2 = stats.Stats.area_um2;
+    power_w = power.Power.total_w;
+    meets_mac = sta.Sta.crit_ps <= budget +. 0.5;
+    meets_wupd = wupd_ps <= 1e12 /. spec.Spec.weight_update_freq_hz;
+    tops = throughput_tops macro ~freq_hz:spec.Spec.mac_freq_hz;
+  }
+
+(** Which pipeline stage owns the critical path: the dominant subcircuit
+    tag among the combinational instances on it. Drives Algorithm 1's
+    branch between MAC-path and OFU-path techniques. *)
+type stage = Mac_path | Ofu_path | Sa_path | Align_path
+
+let stage_name = function
+  | Mac_path -> "mac"
+  | Ofu_path -> "ofu"
+  | Sa_path -> "shift_adder"
+  | Align_path -> "fp_align"
+
+let critical_stage (p : t) : stage =
+  let share = Hashtbl.create 8 in
+  let bump key w =
+    let cur = try Hashtbl.find share key with Not_found -> 0.0 in
+    Hashtbl.replace share key (cur +. w)
+  in
+  let design = p.macro.Macro_rtl.design in
+  List.iter
+    (fun (s : Sta.path_step) ->
+      if s.Sta.inst >= 0 then
+        let inst = design.Ir.insts.(s.Sta.inst) in
+        if not (Cell.is_sequential inst.Ir.kind) then
+          let key =
+            match inst.Ir.tag with
+            | Ir.Subcircuit ("wl_driver" | "mulmux" | "adder_tree") -> Mac_path
+            | Ir.Weight_bit _ -> Mac_path
+            | Ir.Subcircuit "ofu" -> Ofu_path
+            | Ir.Subcircuit "shift_adder" -> Sa_path
+            | Ir.Subcircuit "fp_align" -> Align_path
+            | Ir.Subcircuit _ | Ir.Pipeline_reg _ | Ir.Plain -> Mac_path
+          in
+          bump key 1.0)
+    p.sta.Sta.path;
+  let best = ref Mac_path and best_w = ref 0.0 in
+  Hashtbl.iter
+    (fun k w ->
+      if w > !best_w then begin
+        best := k;
+        best_w := w
+      end)
+    share;
+  !best
+
+let summary (p : t) =
+  Printf.sprintf
+    "%s tree, split=%d, mul=%s, regs(tree=%b,sa=%b), retime(rca=%b,ofu=%b), \
+     pipe=%b: crit %.0f ps, %.2f mW, %.3f mm2, %s"
+    (Adder_tree.topology_name p.cfg.tree)
+    p.cfg.tree_split
+    (Cell.kind_to_string (Cell.Mul p.cfg.mul_kind))
+    p.cfg.reg_after_tree p.cfg.reg_sa_to_ofu p.cfg.retime_final_rca
+    p.cfg.ofu_retime p.cfg.ofu_extra_pipe p.crit_ps (p.power_w *. 1e3)
+    (p.area_um2 /. 1e6)
+    (if p.meets_mac then "MEETS" else "VIOLATES")

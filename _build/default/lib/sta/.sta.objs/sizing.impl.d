@@ -1,0 +1,1 @@
+lib/sta/sizing.ml: Array Cell Ir Library Sta

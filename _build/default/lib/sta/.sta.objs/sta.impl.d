@@ -1,0 +1,1 @@
+lib/sta/sta.ml: Array Ir Library List Voltage

@@ -1,0 +1,69 @@
+(** Drive-strength assignment: the cell-sizing half of the paper's PPA
+    fine-tuning step. Upsizes every instance on a violating path (negative
+    slack against the target) in parallel, the way a synthesis engine's
+    incremental optimization does, and confirms everything off-path stays
+    at minimum drive. *)
+
+type result = {
+  before_ps : float;
+  after_ps : float;
+  upsized : int;  (** number of drive bumps applied *)
+}
+
+let bump = function
+  | Cell.X1 -> Some Cell.X2
+  | Cell.X2 -> Some Cell.X4
+  | Cell.X4 -> None
+
+(** [speed_up d lib ~target_ps] repeatedly upsizes every combinational or
+    sequential cell whose output has negative slack until the nominal
+    critical path meets [target_ps], sizing saturates, or the round budget
+    (enough for the X1→X2→X4 ladder plus load-feedback settling) runs
+    out. Mutates instance drives in place. *)
+let speed_up ?(max_rounds = 6) ?(wire_cap = fun (_ : Ir.net) -> 0.0)
+    (d : Ir.design) (lib : Library.t) ~target_ps =
+  let analyze () = Sta.analyze ~wire_cap d lib in
+  let before = (analyze ()).crit_ps in
+  let upsized = ref 0 in
+  let rec go round best =
+    if best <= target_ps || round >= max_rounds then best
+    else begin
+      let r = analyze () in
+      if r.crit_ps <= target_ps then r.crit_ps
+      else begin
+        let slack = Sta.slacks r d lib ~wire_cap ~target_ps () in
+        let changed = ref false in
+        Array.iter
+          (fun (inst : Ir.inst) ->
+            if not (Cell.is_storage inst.kind) then
+              let violating =
+                Array.exists (fun net -> slack.(net) < -0.5) inst.outs
+              in
+              if violating then
+                match bump inst.drive with
+                | Some up ->
+                    inst.drive <- up;
+                    incr upsized;
+                    changed := true
+                | None -> ())
+          d.insts;
+        if not !changed then r.crit_ps
+        else go (round + 1) (analyze ()).crit_ps
+      end
+    end
+  in
+  let after = go 0 before in
+  { before_ps = before; after_ps = after; upsized = !upsized }
+
+(** [relax d] returns every instance to X1 (minimum power/area), e.g.
+    before re-running a power-preferring fine-tune. *)
+let relax (d : Ir.design) =
+  Array.iter (fun (i : Ir.inst) -> i.drive <- Cell.X1) d.insts
+
+(** [snapshot d] captures every instance's drive so a speculative sizing
+    round can be rolled back with {!restore}. *)
+let snapshot (d : Ir.design) =
+  Array.map (fun (i : Ir.inst) -> i.drive) d.insts
+
+let restore (d : Ir.design) snap =
+  Array.iteri (fun idx (i : Ir.inst) -> i.drive <- snap.(idx)) d.insts

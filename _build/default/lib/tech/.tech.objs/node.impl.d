@@ -1,0 +1,1 @@
+lib/tech/node.ml: Float List

@@ -1,0 +1,1 @@
+lib/tech/scaling.ml: Node

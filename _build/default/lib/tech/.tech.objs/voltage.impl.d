@@ -1,0 +1,1 @@
+lib/tech/voltage.ml: Float Node

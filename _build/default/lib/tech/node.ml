@@ -1,0 +1,51 @@
+(** Process-node descriptors.
+
+    The repository's synthetic cell library targets a 40 nm-class node; the
+    other nodes listed here exist so the Table II comparison can apply the
+    paper's technology-scaling rules to published designs. *)
+
+type t = {
+  name : string;  (** e.g. "40nm" *)
+  feature_nm : float;  (** drawn feature size in nanometres *)
+  vdd_nominal : float;  (** nominal supply voltage (V) *)
+  vth : float;  (** effective threshold voltage (V) *)
+  fo4_ps : float;  (** fanout-of-4 inverter delay at nominal VDD (ps) *)
+  gate_cap_ff_per_um : float;  (** gate capacitance per micron of width *)
+  wire_cap_ff_per_um : float;  (** routed-wire capacitance per micron *)
+  wire_res_ohm_per_um : float;  (** routed-wire resistance per micron *)
+}
+
+(** The synthetic 40 nm node the compiler targets. FO4 and capacitance
+    values follow public 40 nm-era literature; they set the absolute scale
+    of every delay/power number in the repository. *)
+let n40 =
+  {
+    name = "40nm";
+    feature_nm = 40.0;
+    vdd_nominal = 1.1;
+    vth = 0.40;
+    fo4_ps = 20.0;
+    gate_cap_ff_per_um = 1.2;
+    wire_cap_ff_per_um = 0.20;
+    wire_res_ohm_per_um = 0.8;
+  }
+
+(** [node_index t] is the position of the node in the foundry roadmap used
+    by the paper's Table II scaling footnotes (40 → 28 → 22 → 16 → 12 →
+    7 → 5 → 4 → 3 nm). Fractional positions interpolate between listed
+    nodes so 55 nm (TCAS-I'24) also scales. *)
+let roadmap = [ 65.0; 55.0; 40.0; 28.0; 22.0; 16.0; 12.0; 7.0; 5.0; 4.0; 3.0 ]
+
+let node_steps ~from_nm ~to_nm =
+  let idx nm =
+    let rec go i = function
+      | [] -> float_of_int (List.length roadmap - 1)
+      | x :: _ when Float.equal x nm -> float_of_int i
+      | x :: y :: _ when nm < x && nm > y ->
+          (* interpolate between adjacent roadmap entries *)
+          float_of_int i +. ((x -. nm) /. (x -. y))
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 roadmap
+  in
+  idx to_nm -. idx from_nm

@@ -1,0 +1,56 @@
+(** Small integer helpers shared across the compiler. *)
+
+(** [ceil_log2 n] is the smallest [k] with [2{^k} >= n]. Requires [n >= 1]. *)
+let ceil_log2 n =
+  assert (n >= 1);
+  let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+(** [floor_log2 n] is the largest [k] with [2{^k} <= n]. Requires [n >= 1]. *)
+let floor_log2 n =
+  assert (n >= 1);
+  let rec go k p = if p * 2 > n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+(** [pow2 k] is [2{^k}]. Requires [0 <= k < 62]. *)
+let pow2 k =
+  assert (k >= 0 && k < 62);
+  1 lsl k
+
+(** [is_pow2 n] holds when [n] is a positive power of two. *)
+let is_pow2 n = n >= 1 && n land (n - 1) = 0
+
+(** [ceil_div a b] is [a / b] rounded towards positive infinity, for
+    non-negative [a] and positive [b]. *)
+let ceil_div a b =
+  assert (a >= 0 && b > 0);
+  (a + b - 1) / b
+
+(** [clamp ~lo ~hi x] bounds [x] into the interval [\[lo, hi\]]. *)
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+(** [clamp_f ~lo ~hi x] is {!clamp} for floats. *)
+let clamp_f ~lo ~hi (x : float) = if x < lo then lo else if x > hi then hi else x
+
+(** [range n] is [\[0; 1; ...; n-1\]]. *)
+let range n = List.init n Fun.id
+
+(** [sum_by f l] folds [f] over [l] and sums the results as floats. *)
+let sum_by f l = List.fold_left (fun acc x -> acc +. f x) 0.0 l
+
+(** [sign_extend ~width v] reinterprets the low [width] bits of [v] as a
+    signed two's-complement value. *)
+let sign_extend ~width v =
+  assert (width >= 1 && width < 62);
+  let m = pow2 width in
+  let v = v land (m - 1) in
+  if v land pow2 (width - 1) <> 0 then v - m else v
+
+(** [truncate_bits ~width v] keeps the low [width] bits of [v]. *)
+let truncate_bits ~width v = v land (pow2 width - 1)
+
+(** [bits_for_unsigned n] is the number of bits needed to represent the
+    unsigned value [n] ([n >= 0]); 0 needs one bit. *)
+let bits_for_unsigned n =
+  assert (n >= 0);
+  if n = 0 then 1 else floor_log2 n + 1

@@ -1,0 +1,37 @@
+(** Pareto-frontier extraction over multi-objective points.
+
+    All objectives are minimized; negate a metric (e.g. throughput) to
+    maximize it. *)
+
+(** [dominates a b] holds when point [a] is no worse than [b] in every
+    objective and strictly better in at least one. Both arrays must have the
+    same length. *)
+let dominates (a : float array) (b : float array) =
+  assert (Array.length a = Array.length b);
+  let no_worse = ref true and strictly = ref false in
+  Array.iteri
+    (fun i ai ->
+      if ai > b.(i) then no_worse := false;
+      if ai < b.(i) then strictly := true)
+    a;
+  !no_worse && !strictly
+
+(** [frontier ~objectives points] keeps the non-dominated elements of
+    [points], where [objectives p] projects a point onto its objective
+    vector. Order of survivors follows the input order. *)
+let frontier ~objectives points =
+  let objs = List.map (fun p -> (p, objectives p)) points in
+  List.filter_map
+    (fun (p, o) ->
+      let dominated =
+        List.exists (fun (_, o') -> dominates o' o) objs
+      in
+      if dominated then None else Some p)
+    objs
+
+(** [sort_by_objective ~objectives i points] sorts points by ascending value
+    of objective [i]. *)
+let sort_by_objective ~objectives i points =
+  List.sort
+    (fun a b -> Float.compare (objectives a).(i) (objectives b).(i))
+    points

@@ -1,0 +1,36 @@
+(** Deterministic random streams.
+
+    Every stochastic step of the flow (vector generation for power
+    estimation, randomized verification batches) draws from an explicit
+    state seeded from a fixed constant, so compiles are reproducible. *)
+
+type t = Random.State.t
+
+(** [create seed] makes an independent deterministic stream. *)
+let create seed : t = Random.State.make [| seed; 0x5D1C; seed lxor 0x9E37 |]
+
+(** [bit t ~p1] draws a bit that is 1 with probability [p1]. *)
+let bit t ~p1 = if Random.State.float t 1.0 < p1 then 1 else 0
+
+(** [int t n] draws uniformly from [0 .. n-1]. *)
+let int t n = Random.State.int t n
+
+(** [signed t ~width] draws a uniform signed [width]-bit integer. *)
+let signed t ~width =
+  let m = Intmath.pow2 width in
+  Random.State.int t m - (m / 2)
+
+(** [float t x] draws uniformly from [\[0, x)]. *)
+let float t x = Random.State.float t x
+
+(** [sparse_signed t ~width ~density] draws 0 with probability
+    [1 - density], otherwise a uniform non-zero signed value. Used to model
+    the paper's measurement sparsity (12.5 % input / 50 % weight). *)
+let sparse_signed t ~width ~density =
+  if Random.State.float t 1.0 >= density then 0
+  else
+    let rec nz () =
+      let v = signed t ~width in
+      if v = 0 then nz () else v
+    in
+    nz ()

@@ -1,0 +1,39 @@
+(** Growable arrays, used by the netlist builder. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ?(capacity = 64) dummy =
+  { data = Array.make (max 1 capacity) dummy; len = 0; dummy }
+
+let length t = t.len
+
+let get t i =
+  assert (i >= 0 && i < t.len);
+  t.data.(i)
+
+let set t i v =
+  assert (i >= 0 && i < t.len);
+  t.data.(i) <- v
+
+let push t v =
+  if t.len = Array.length t.data then begin
+    let data = Array.make (2 * t.len) t.dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.len - 1
+
+(** [to_array t] copies the live prefix into a fresh array. *)
+let to_array t = Array.sub t.data 0 t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done

@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Align Array Float Fpfmt Golden Intmath List Precision QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/test_cell.ml: Alcotest Array Cell Characterize Liberty Library List String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Compiler Float Floorplan Library List Lvs Macro_rtl Post_layout Power Precision Report Rng Scl Sim Spec String Testbench Voltage

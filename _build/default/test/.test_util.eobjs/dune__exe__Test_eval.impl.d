@@ -1,0 +1,1 @@
+test/test_eval.ml: Ablation Adder_tree Alcotest Array Baselines Cell Compiler Design_point Fig7 Fig9 Library List Macro_rtl Precision Scl Searcher Spec Table Table1 Table2 Testbench

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Def_writer Design_point Drc Float Floorplan Hashtbl Ir Library List Lvs Macro_rtl Node Post_layout Power Precision Printf Route Sizing Sta String

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Builder Cell Float Intmath Ir Library List Macro_rtl Precision Printf QCheck QCheck_alcotest Rng Sim Stats String Testbench Verilog

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Builder Cell Design_point Float Ir Library List Macro_rtl Power Precision Sim

@@ -1,0 +1,1 @@
+test/test_scl.ml: Adder_tree Alcotest Cell Fpfmt Library List Macro_rtl Ppa Precision Printf Scl Shift_adder Stats Unix

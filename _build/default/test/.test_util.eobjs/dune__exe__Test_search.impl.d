@@ -1,0 +1,1 @@
+test/test_search.ml: Adder_tree Alcotest Design_point Float Library List Macro_rtl Mulmux Pareto Precision Scl Searcher Shift_adder Spec String Testbench

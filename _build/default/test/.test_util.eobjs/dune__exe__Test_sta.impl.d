@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Builder Cell Float Ir Library List Macro_rtl Precision Sizing Sta

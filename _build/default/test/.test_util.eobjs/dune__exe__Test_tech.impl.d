@@ -1,0 +1,1 @@
+test/test_tech.ml: Alcotest Float List Node Printf Scaling Voltage

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Intmath List Pareto QCheck QCheck_alcotest Rng String Table Vec

@@ -1,0 +1,272 @@
+(* Tests for number formats, the behavioural aligner and the golden MAC
+   models — the reference semantics everything else is checked against. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- Fpfmt ---------------- *)
+
+let test_format_geometry () =
+  check_int "fp8 storage" 8 (Fpfmt.storage_bits Fpfmt.fp8);
+  check_int "fp4 storage" 4 (Fpfmt.storage_bits Fpfmt.fp4);
+  check_int "bf16 storage" 16 (Fpfmt.storage_bits Fpfmt.bf16);
+  check_int "fp8 bias" 7 (Fpfmt.bias Fpfmt.fp8);
+  check_int "bf16 bias" 127 (Fpfmt.bias Fpfmt.bf16);
+  check_int "fp8 aligned width" 8 (Fpfmt.aligned_bits Fpfmt.fp8);
+  check_int "bf16 aligned width" 9 (Fpfmt.aligned_bits Fpfmt.bf16)
+
+let test_pack_decode_roundtrip () =
+  let f = Fpfmt.fp8 in
+  for exp = 0 to 15 do
+    for man = 0 to 7 do
+      List.iter
+        (fun sign ->
+          let bits = Fpfmt.pack f ~sign ~exp ~man in
+          let d = Fpfmt.decode f bits in
+          check_bool "sign" true (d.Fpfmt.sign = sign);
+          if exp = 0 then begin
+            check_int "subnormal exponent" 1 d.Fpfmt.eff_exp;
+            check_int "subnormal mantissa" man d.Fpfmt.mant
+          end
+          else begin
+            check_int "normal exponent" exp d.Fpfmt.eff_exp;
+            check_int "implicit bit" (8 lor man) d.Fpfmt.mant
+          end)
+        [ false; true ]
+    done
+  done
+
+let test_to_real () =
+  let f = Fpfmt.fp8 in
+  let v = Fpfmt.pack f ~sign:false ~exp:7 ~man:0 in
+  Alcotest.(check (float 1e-9)) "1.0" 1.0 (Fpfmt.to_real f v);
+  let v = Fpfmt.pack f ~sign:true ~exp:8 ~man:4 in
+  Alcotest.(check (float 1e-9)) "-3.0" (-3.0) (Fpfmt.to_real f v);
+  let v = Fpfmt.pack f ~sign:false ~exp:0 ~man:0 in
+  Alcotest.(check (float 1e-9)) "zero" 0.0 (Fpfmt.to_real f v)
+
+(* ---------------- Align ---------------- *)
+
+let test_max_exponent () =
+  let f = Fpfmt.fp8 in
+  let xs =
+    [|
+      Fpfmt.pack f ~sign:false ~exp:3 ~man:1;
+      Fpfmt.pack f ~sign:true ~exp:9 ~man:0;
+      Fpfmt.pack f ~sign:false ~exp:0 ~man:5;
+    |]
+  in
+  check_int "max" 9 (Align.max_exponent f xs);
+  check_int "all-zero group" 1 (Align.max_exponent f [| 0 |])
+
+let test_align_values () =
+  let f = Fpfmt.fp8 in
+  (* 1.0 and 0.5: after alignment to exponent of 1.0, 0.5's mantissa is
+     shifted right by one *)
+  let one = Fpfmt.pack f ~sign:false ~exp:7 ~man:0 in
+  let half = Fpfmt.pack f ~sign:false ~exp:6 ~man:0 in
+  let a = Align.align f [| one; half |] in
+  check_int "group exp" 7 a.Align.group_exp;
+  check_int "1.0 aligned" (8 lsl 3) a.Align.values.(0);
+  check_int "0.5 aligned" (8 lsl 2) a.Align.values.(1)
+
+let test_align_signs () =
+  let f = Fpfmt.fp8 in
+  let pos = Fpfmt.pack f ~sign:false ~exp:7 ~man:3 in
+  let neg = Fpfmt.pack f ~sign:true ~exp:7 ~man:3 in
+  let a = Align.align f [| pos; neg |] in
+  check_int "negation symmetric" 0 (a.Align.values.(0) + a.Align.values.(1))
+
+let test_align_flush_to_zero () =
+  let f = Fpfmt.fp8 in
+  let big = Fpfmt.pack f ~sign:false ~exp:15 ~man:0 in
+  let tiny = Fpfmt.pack f ~sign:false ~exp:1 ~man:7 in
+  let a = Align.align f [| big; tiny |] in
+  check_int "tiny flushes to zero" 0 a.Align.values.(1)
+
+let test_alignment_error_bound () =
+  (* truncation error is below one unit of the aligned grid *)
+  let f = Fpfmt.fp8 in
+  let rng = Rng.create 99 in
+  for _ = 1 to 200 do
+    let xs = Array.init 8 (fun _ -> Fpfmt.random rng f) in
+    let a = Align.align f xs in
+    let err, ulp = Align.max_alignment_error f a xs in
+    check_bool "error < 1 ulp" true (err < ulp +. 1e-12)
+  done
+
+let test_align_equal_exponents () =
+  (* a group with one shared exponent aligns exactly (shift = 0) *)
+  let f = Fpfmt.fp8 in
+  let xs =
+    Array.init 8 (fun man -> Fpfmt.pack f ~sign:(man mod 2 = 0) ~exp:9 ~man)
+  in
+  let a = Align.align f xs in
+  check_int "group exponent" 9 a.Align.group_exp;
+  Array.iteri
+    (fun i bits ->
+      let exact = Fpfmt.to_real f bits in
+      let approx = Align.real_of_aligned f a i in
+      check_bool "exact at zero shift" true
+        (Float.abs (exact -. approx) < 1e-12))
+    xs
+
+let test_subnormal_values () =
+  let f = Fpfmt.fp8 in
+  (* smallest subnormal: man = 1, exp = 0 -> 2^-9 for E4M3 *)
+  let v = Fpfmt.pack f ~sign:false ~exp:0 ~man:1 in
+  Alcotest.(check (float 1e-12))
+    "subnormal magnitude"
+    (1.0 /. 8.0 *. (2.0 ** float_of_int (1 - Fpfmt.bias f)))
+    (Fpfmt.to_real f v);
+  (* subnormals participate in alignment without the implicit bit: at a
+     group exponent of 1 the shift is zero, so the bare mantissa lands on
+     the guard-shifted grid *)
+  let a = Align.align f [| v; Fpfmt.pack f ~sign:false ~exp:1 ~man:0 |] in
+  check_int "subnormal aligned" (1 lsl f.Fpfmt.guard) a.Align.values.(0)
+
+(* ---------------- Golden ---------------- *)
+
+let test_dot () =
+  check_int "dot" 4
+    (Golden.dot ~weights:[| 1; -2; 3 |] ~inputs:[| 2; 5; 4 |])
+
+let test_bit_serial_equals_dot_int8 () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 300 do
+    let n = 1 + Rng.int rng 32 in
+    let weights = Array.init n (fun _ -> Rng.signed rng ~width:8) in
+    let inputs = Array.init n (fun _ -> Rng.signed rng ~width:8) in
+    check_int "schedule = dot"
+      (Golden.dot ~weights ~inputs)
+      (Golden.bit_serial_mac ~input_bits:8 ~weight_bits:8 ~weights ~inputs)
+  done
+
+let test_bit_serial_one_bit_unsigned () =
+  (* INT1 is unsigned: no cycle and no column is negated *)
+  let weights = [| 1; 0; 1; 1 |] and inputs = [| 1; 1; 0; 1 |] in
+  check_int "binary dot" 2
+    (Golden.bit_serial_mac ~input_bits:1 ~weight_bits:1 ~weights ~inputs)
+
+let test_bit_serial_mixed_widths () =
+  let rng = Rng.create 8 in
+  List.iter
+    (fun (ib, wb) ->
+      for _ = 1 to 50 do
+        let n = 1 + Rng.int rng 16 in
+        let w1 w = if w = 1 then Rng.int rng 2 else Rng.signed rng ~width:w in
+        let weights = Array.init n (fun _ -> w1 wb) in
+        let inputs = Array.init n (fun _ -> w1 ib) in
+        check_int "mixed widths"
+          (Golden.dot ~weights ~inputs)
+          (Golden.bit_serial_mac ~input_bits:ib ~weight_bits:wb ~weights
+             ~inputs)
+      done)
+    [ (1, 8); (8, 1); (2, 4); (4, 2); (4, 8); (1, 1); (2, 2) ]
+
+let test_column_popcount () =
+  check_int "popcount" 2
+    (Golden.column_popcount
+       ~weight_bits:[| true; true; false |]
+       ~input_bits_t:[| true; true; true |])
+
+let test_shift_accumulate_extremes () =
+  (* all partial sums maximal for 4-bit signed inputs of value -8 *)
+  let sums = Array.make 4 5 in
+  check_int "msb negated" ((5 * (1 + 2 + 4)) - (5 * 8))
+    (Golden.shift_accumulate ~input_bits:4 sums)
+
+let test_fuse_columns () =
+  check_int "unsigned single column" 7
+    (Golden.fuse_columns ~weight_bits:1 [| 7 |]);
+  (* column 1 carries weight -2 (two's complement MSB) *)
+  check_int "two's complement columns" (1 - 12)
+    (Golden.fuse_columns ~weight_bits:2 [| 1; 6 |]);
+  check_int "four columns" (3 + (2 * 1) + (4 * 4) - (8 * 2))
+    (Golden.fuse_columns ~weight_bits:4 [| 3; 1; 4; 2 |])
+
+let test_fp_mac_matches_reference () =
+  let f = Fpfmt.fp8 in
+  let rng = Rng.create 21 in
+  for _ = 1 to 100 do
+    let n = 8 in
+    let fp_inputs = Array.init n (fun _ -> Fpfmt.random rng f) in
+    let weights = Array.init n (fun _ -> Rng.signed rng ~width:8) in
+    let got, gexp = Golden.fp_mac f ~weight_bits:8 ~weights ~fp_inputs in
+    let a = Align.align f fp_inputs in
+    check_int "exponent" a.Align.group_exp gexp;
+    check_int "value" (Golden.dot ~weights ~inputs:a.Align.values) got
+  done
+
+let test_result_width () =
+  (* widths must hold the extreme dot product *)
+  let w = Golden.result_width ~rows:64 ~input_bits:8 ~weight_bits:8 in
+  let extreme = 64 * 128 * 128 in
+  check_bool "fits" true (extreme < Intmath.pow2 (w - 1))
+
+let prop_bit_serial =
+  QCheck.Test.make ~name:"bit-serial schedule = dot product" ~count:300
+    QCheck.(
+      pair (int_range 1 24)
+        (pair (int_range 2 8) (int_range 2 8)))
+    (fun (n, (ib, wb)) ->
+      let rng = Rng.create (n + (ib * 100) + (wb * 7)) in
+      let weights = Array.init n (fun _ -> Rng.signed rng ~width:wb) in
+      let inputs = Array.init n (fun _ -> Rng.signed rng ~width:ib) in
+      Golden.bit_serial_mac ~input_bits:ib ~weight_bits:wb ~weights ~inputs
+      = Golden.dot ~weights ~inputs)
+
+(* ---------------- Precision ---------------- *)
+
+let test_precision_descriptors () =
+  check_int "int8 datapath" 8 (Precision.datapath_bits Precision.int8);
+  check_int "fp8 datapath" 8 (Precision.datapath_bits Precision.fp8);
+  check_int "bf16 datapath" 9 (Precision.datapath_bits Precision.bf16);
+  check_int "fp8 storage" 8 (Precision.storage_bits Precision.fp8);
+  check_bool "fp flag" true (Precision.is_fp Precision.fp8);
+  check_bool "int flag" false (Precision.is_fp Precision.int4);
+  check_int "ops norm" 64
+    (Precision.ops_per_mac Precision.int8 Precision.int8);
+  Alcotest.(check string) "names" "INT4" (Precision.name Precision.int4)
+
+let () =
+  Alcotest.run "arith"
+    [
+      ( "fpfmt",
+        [
+          Alcotest.test_case "geometry" `Quick test_format_geometry;
+          Alcotest.test_case "pack/decode" `Quick test_pack_decode_roundtrip;
+          Alcotest.test_case "to_real" `Quick test_to_real;
+        ] );
+      ( "align",
+        [
+          Alcotest.test_case "max exponent" `Quick test_max_exponent;
+          Alcotest.test_case "values" `Quick test_align_values;
+          Alcotest.test_case "signs" `Quick test_align_signs;
+          Alcotest.test_case "flush to zero" `Quick test_align_flush_to_zero;
+          Alcotest.test_case "error bound" `Quick test_alignment_error_bound;
+          Alcotest.test_case "equal exponents exact" `Quick
+            test_align_equal_exponents;
+          Alcotest.test_case "subnormals" `Quick test_subnormal_values;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "dot" `Quick test_dot;
+          Alcotest.test_case "bit-serial INT8" `Quick
+            test_bit_serial_equals_dot_int8;
+          Alcotest.test_case "INT1 unsigned" `Quick
+            test_bit_serial_one_bit_unsigned;
+          Alcotest.test_case "mixed widths" `Quick
+            test_bit_serial_mixed_widths;
+          Alcotest.test_case "popcount" `Quick test_column_popcount;
+          Alcotest.test_case "shift-accumulate" `Quick
+            test_shift_accumulate_extremes;
+          Alcotest.test_case "fuse columns" `Quick test_fuse_columns;
+          Alcotest.test_case "FP MAC" `Quick test_fp_mac_matches_reference;
+          Alcotest.test_case "result width" `Quick test_result_width;
+        ] );
+      ( "precision",
+        [ Alcotest.test_case "descriptors" `Quick test_precision_descriptors ]
+      );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_bit_serial ]);
+    ]

@@ -1,0 +1,191 @@
+(* Tests for the multi-spec-oriented searcher (Algorithm 1): spec
+   plumbing, design-point evaluation, timing-closure behaviour, latency
+   recovery, preference fine-tuning and the Pareto sweep. Small arrays
+   keep these fast while exercising every step. *)
+
+let lib = Library.n40 ()
+let scl = Scl.create lib
+
+let check_bool = Alcotest.(check bool)
+
+(* a small spec that the default config misses and techniques fix *)
+let spec ?(rows = 16) ?(cols = 16) ?(freq = 900e6) ?(pref = Spec.Balanced) ()
+    =
+  {
+    Spec.rows;
+    cols;
+    mcr = 1;
+    input_prec = Precision.int8;
+    weight_prec = Precision.int8;
+    mac_freq_hz = freq;
+    weight_update_freq_hz = freq;
+    vdd = 0.9;
+    preference = pref;
+  }
+
+let test_spec_budget () =
+  let s = spec () in
+  let b = Spec.nominal_budget_ps s lib.Library.node in
+  let sb = Spec.search_budget_ps s lib.Library.node in
+  check_bool "budget below period" true (b < 1e12 /. s.Spec.mac_freq_hz);
+  check_bool "search budget is derated" true
+    (Float.abs (sb -. (b *. (1.0 -. Spec.wire_derate))) < 1e-6)
+
+let test_initial_config_from_spec () =
+  let s = spec ~rows:32 ~cols:16 () in
+  let cfg = Spec.initial_config s in
+  Alcotest.(check int) "rows" 32 cfg.Macro_rtl.rows;
+  Alcotest.(check int) "cols" 16 cfg.Macro_rtl.cols;
+  check_bool "default tree is compressor CSA" true
+    (cfg.Macro_rtl.tree = Adder_tree.Csa { fa_ratio = 0.0; reorder = false })
+
+let test_design_point_evaluation () =
+  let s = spec ~freq:500e6 () in
+  let p = Design_point.evaluate lib s (Spec.initial_config s) in
+  check_bool "power positive" true (p.Design_point.power_w > 0.0);
+  check_bool "area positive" true (p.Design_point.area_um2 > 0.0);
+  check_bool "tops consistent" true
+    (Float.abs
+       (p.Design_point.tops
+       -. (2.0 *. 16.0 *. 2.0 *. 500e6 /. 8.0 /. 1e12))
+    < 1e-9);
+  check_bool "meets at 500MHz" true p.Design_point.meets_mac
+
+let test_critical_stage_classification () =
+  (* with the OFU unpipelined and everything else registered, the OFU owns
+     the critical path *)
+  let s = spec ~freq:2000e6 () in
+  let cfg = Spec.initial_config s in
+  let p = Design_point.evaluate lib s cfg in
+  check_bool "stage is a known one" true
+    (match Design_point.critical_stage p with
+    | Design_point.Mac_path | Design_point.Ofu_path | Design_point.Sa_path
+    | Design_point.Align_path ->
+        true)
+
+let test_search_closes_easy () =
+  let r = Searcher.search lib scl (spec ~freq:300e6 ()) in
+  check_bool "closed" true r.Searcher.timing_closed;
+  check_bool "final meets" true r.Searcher.final.Design_point.meets_mac
+
+let test_search_applies_techniques_when_tight () =
+  let r = Searcher.search lib scl (spec ~freq:1000e6 ()) in
+  check_bool "closed at 1 GHz" true r.Searcher.timing_closed;
+  check_bool "needed techniques" true (List.length r.Searcher.applied >= 1)
+
+let test_search_gives_up_gracefully () =
+  let r = Searcher.search lib scl (spec ~freq:5000e6 ()) in
+  check_bool "not closed at 5 GHz" false r.Searcher.timing_closed;
+  check_bool "still returns a best effort" true
+    (r.Searcher.final.Design_point.crit_ps > 0.0)
+
+let test_search_visits_recorded () =
+  let r = Searcher.search lib scl (spec ~freq:1000e6 ()) in
+  check_bool "visited includes final-like points" true
+    (List.length r.Searcher.visited >= List.length r.Searcher.applied)
+
+let test_latency_recovery_at_loose_spec () =
+  (* at a very loose clock the fusion step should remove registers *)
+  let r = Searcher.search lib scl (spec ~freq:200e6 ()) in
+  let cfg = r.Searcher.final.Design_point.cfg in
+  check_bool "some pipeline register removed" true
+    ((not cfg.Macro_rtl.reg_after_tree)
+    || not cfg.Macro_rtl.reg_sa_to_ofu)
+
+let test_preferences_affect_outcome () =
+  let power = Searcher.search lib scl (spec ~freq:700e6 ~pref:Spec.Prefer_power ()) in
+  let area = Searcher.search lib scl (spec ~freq:700e6 ~pref:Spec.Prefer_area ()) in
+  let pw (r : Searcher.result) = r.Searcher.final.Design_point.power_w in
+  let ar (r : Searcher.result) = r.Searcher.final.Design_point.area_um2 in
+  (* each preference should be at least as good on its own axis *)
+  check_bool "power preference not worse on power" true
+    (pw power <= pw area +. 1e-6 || ar area <= ar power +. 1e-6)
+
+let test_technique_names () =
+  (* every constructor prints something non-empty and distinct *)
+  let names =
+    List.map Searcher.technique_name
+      [
+        Searcher.Tt1_faster_adder Adder_tree.Rca_tree;
+        Searcher.Tt1_faster_sa Shift_adder.Carry_save;
+        Searcher.Tt1_faster_ofu_adder;
+        Searcher.Tt2_retime_tree;
+        Searcher.Tt3_split_column 2;
+        Searcher.Tt4_retime_ofu;
+        Searcher.Tt5_pipe_ofu;
+        Searcher.Align_pipe 2;
+        Searcher.Fuse_tree_sa;
+        Searcher.Fuse_sa_ofu;
+        Searcher.Ft_substitute "x";
+      ]
+  in
+  check_bool "non-empty" true (List.for_all (fun s -> String.length s > 0) names);
+  Alcotest.(check int) "distinct" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_final_design_verifies () =
+  let r = Searcher.search lib scl (spec ~freq:900e6 ()) in
+  Testbench.verify r.Searcher.final.Design_point.macro ~seed:3 ~batches:3
+
+let test_pareto_sweep () =
+  let front, cloud = Searcher.pareto_sweep lib scl (spec ~freq:800e6 ()) in
+  check_bool "cloud non-empty" true (List.length cloud >= 3);
+  check_bool "frontier non-empty" true (List.length front >= 1);
+  check_bool "frontier subset of cloud" true
+    (List.for_all (fun p -> List.memq p cloud) front);
+  (* no frontier point dominated by a cloud point on all three axes *)
+  let obj (p : Design_point.t) =
+    [| p.Design_point.power_w; p.Design_point.area_um2; p.Design_point.crit_ps |]
+  in
+  check_bool "frontier sound" true
+    (List.for_all
+       (fun f ->
+         not (List.exists (fun c -> Pareto.dominates (obj c) (obj f)) cloud))
+       front)
+
+let test_lattice_legality () =
+  let cfgs = Searcher.exploration_lattice (spec ()) in
+  check_bool "non-trivial lattice" true (List.length cfgs >= 8);
+  List.iter
+    (fun (cfg : Macro_rtl.config) ->
+      Mulmux.check_mcr cfg.Macro_rtl.mul_kind cfg.Macro_rtl.mcr)
+    cfgs
+
+let () =
+  Alcotest.run "search"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "budget" `Quick test_spec_budget;
+          Alcotest.test_case "initial config" `Quick
+            test_initial_config_from_spec;
+        ] );
+      ( "design_point",
+        [
+          Alcotest.test_case "evaluation" `Quick test_design_point_evaluation;
+          Alcotest.test_case "stage classification" `Quick
+            test_critical_stage_classification;
+        ] );
+      ( "algorithm1",
+        [
+          Alcotest.test_case "closes easy spec" `Quick test_search_closes_easy;
+          Alcotest.test_case "applies techniques" `Quick
+            test_search_applies_techniques_when_tight;
+          Alcotest.test_case "gives up gracefully" `Quick
+            test_search_gives_up_gracefully;
+          Alcotest.test_case "records visits" `Quick
+            test_search_visits_recorded;
+          Alcotest.test_case "latency recovery" `Quick
+            test_latency_recovery_at_loose_spec;
+          Alcotest.test_case "preferences" `Slow
+            test_preferences_affect_outcome;
+          Alcotest.test_case "technique names" `Quick test_technique_names;
+          Alcotest.test_case "final verifies" `Quick
+            test_final_design_verifies;
+        ] );
+      ( "pareto",
+        [
+          Alcotest.test_case "sweep" `Slow test_pareto_sweep;
+          Alcotest.test_case "lattice legality" `Quick test_lattice_legality;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+(* Tests for static timing analysis and the sizing pass. *)
+
+let lib = Library.n40 ()
+
+let check_bool = Alcotest.(check bool)
+
+(* An inverter chain of length n between an input and a register. *)
+let chain_design n =
+  let ir = Ir.create () in
+  let c = Builder.ctx_plain ir in
+  let a = Ir.new_net ir in
+  Ir.add_input ir "a" [| a |];
+  let rec go net k = if k = 0 then net else go (Builder.inv c net) (k - 1) in
+  let last = go a n in
+  ignore (Builder.dff c last);
+  Ir.freeze ir
+
+let test_chain_delay () =
+  let d4 = Sta.analyze (chain_design 4) lib in
+  let d8 = Sta.analyze (chain_design 8) lib in
+  check_bool "longer chain slower" true (d8.Sta.crit_ps > d4.Sta.crit_ps);
+  (* path steps = inverters + endpoint accounting *)
+  Alcotest.(check int) "path length" 4 (List.length d4.Sta.path)
+
+let test_chain_analytic () =
+  (* chain of 1: inv intrinsic + res*dff_cap + dff setup *)
+  let d = Sta.analyze (chain_design 1) lib in
+  let inv = Library.params lib Cell.Inv Cell.X1 in
+  let dff = Library.params lib Cell.Dff Cell.X1 in
+  let expect =
+    inv.Library.intrinsic_ps.(0)
+    +. (inv.Library.drive_res_ps_per_ff *. dff.Library.input_cap_ff)
+    +. dff.Library.setup_ps
+  in
+  Alcotest.(check (float 0.01)) "analytic match" expect d.Sta.crit_ps
+
+let test_launch_from_register () =
+  (* reg -> inv -> reg path includes clk-to-q *)
+  let ir = Ir.create () in
+  let c = Builder.ctx_plain ir in
+  let a = Ir.new_net ir in
+  Ir.add_input ir "a" [| a |];
+  let q1 = Builder.dff c a in
+  let x = Builder.inv c q1 in
+  let q2 = Builder.dff c x in
+  Ir.add_output ir "q" [| q2 |];
+  let d = Ir.freeze ir in
+  let r = Sta.analyze d lib in
+  let dff = Library.params lib Cell.Dff Cell.X1 in
+  check_bool "includes clk_q" true (r.Sta.crit_ps > dff.Library.clk_q_ps);
+  match r.Sta.endpoint with
+  | Sta.Reg_d _ -> ()
+  | Sta.Primary_out _ -> Alcotest.fail "endpoint should be a register"
+
+let test_wire_cap_slows () =
+  let d = chain_design 4 in
+  let base = Sta.analyze d lib in
+  let loaded = Sta.analyze ~wire_cap:(fun _ -> 10.0) d lib in
+  check_bool "wire load slows" true
+    (loaded.Sta.crit_ps > base.Sta.crit_ps +. 20.0)
+
+let test_slack_signs () =
+  let d = chain_design 6 in
+  let r = Sta.analyze d lib in
+  let loose = Sta.slacks r d lib ~target_ps:(r.Sta.crit_ps +. 100.0) () in
+  let tight = Sta.slacks r d lib ~target_ps:(r.Sta.crit_ps -. 100.0) () in
+  (* with a loose target no net is negative; with a tight one the path is *)
+  check_bool "loose all non-negative" true
+    (Array.for_all (fun s -> s >= -0.01 || Float.is_nan s) loose);
+  let negatives = Array.to_list tight |> List.filter (fun s -> s < 0.0) in
+  check_bool "tight has negative slack" true (List.length negatives >= 6)
+
+let test_fmax_ghz () =
+  let r = Sta.analyze (chain_design 10) lib in
+  Alcotest.(check (float 1e-6))
+    "fmax consistent" (1000.0 /. r.Sta.crit_ps) (Sta.fmax_ghz r)
+
+(* ---------------- sizing ---------------- *)
+
+let fanout_design () =
+  (* one driver, a big capacitive fan-out, then a register: upsizing the
+     driver is the only fix *)
+  let ir = Ir.create () in
+  let c = Builder.ctx_plain ir in
+  let a = Ir.new_net ir in
+  Ir.add_input ir "a" [| a |];
+  let x = Builder.inv c a in
+  for _ = 1 to 30 do
+    ignore (Builder.dff c x)
+  done;
+  Ir.freeze ir
+
+let test_sizing_speeds_up () =
+  let d = fanout_design () in
+  let before = (Sta.analyze d lib).Sta.crit_ps in
+  let r = Sizing.speed_up d lib ~target_ps:(before /. 2.0) in
+  check_bool "improved" true (r.Sizing.after_ps < before);
+  check_bool "counted" true (r.Sizing.upsized >= 1)
+
+let test_sizing_idempotent_when_met () =
+  let d = chain_design 3 in
+  let before = (Sta.analyze d lib).Sta.crit_ps in
+  let r = Sizing.speed_up d lib ~target_ps:(before +. 1000.0) in
+  Alcotest.(check int) "no bumps" 0 r.Sizing.upsized
+
+let test_relax_and_snapshot () =
+  let d = fanout_design () in
+  ignore (Sizing.speed_up d lib ~target_ps:1.0);
+  let snap = Sizing.snapshot d in
+  Sizing.relax d;
+  check_bool "all X1 after relax" true
+    (Array.for_all (fun (i : Ir.inst) -> i.Ir.drive = Cell.X1) d.Ir.insts);
+  Sizing.restore d snap;
+  check_bool "restored" true
+    (Array.exists (fun (i : Ir.inst) -> i.Ir.drive <> Cell.X1) d.Ir.insts)
+
+let test_sizing_never_touches_storage () =
+  let m =
+    Macro_rtl.build lib
+      (Macro_rtl.default ~rows:8 ~cols:8 ~mcr:1 ~input_prec:Precision.int4
+         ~weight_prec:Precision.int4)
+  in
+  let d = m.Macro_rtl.design in
+  ignore (Sizing.speed_up d lib ~target_ps:1.0);
+  Array.iter
+    (fun i ->
+      let inst = d.Ir.insts.(i) in
+      check_bool "storage stays X1" true (inst.Ir.drive = Cell.X1))
+    d.Ir.storage
+
+let test_voltage_scaled_timing () =
+  let r = Sta.analyze (chain_design 8) lib in
+  let at_07 = Sta.crit_ps_at r lib.Library.node ~vdd:0.7 in
+  let at_12 = Sta.crit_ps_at r lib.Library.node ~vdd:1.2 in
+  check_bool "0.7V slower than 1.2V" true (at_07 > at_12);
+  check_bool "meets at slack freq" true
+    (Sta.meets r lib.Library.node ~vdd:1.2 ~freq_hz:(0.5e12 /. at_12));
+  check_bool "fails at 2x fmax" false
+    (Sta.meets r lib.Library.node ~vdd:1.2 ~freq_hz:(2.0e12 /. at_12))
+
+let () =
+  Alcotest.run "sta"
+    [
+      ( "timing",
+        [
+          Alcotest.test_case "chain delay" `Quick test_chain_delay;
+          Alcotest.test_case "analytic single stage" `Quick
+            test_chain_analytic;
+          Alcotest.test_case "register launch" `Quick
+            test_launch_from_register;
+          Alcotest.test_case "wire cap slows" `Quick test_wire_cap_slows;
+          Alcotest.test_case "slack signs" `Quick test_slack_signs;
+          Alcotest.test_case "fmax" `Quick test_fmax_ghz;
+          Alcotest.test_case "voltage scaling" `Quick
+            test_voltage_scaled_timing;
+        ] );
+      ( "sizing",
+        [
+          Alcotest.test_case "speeds up" `Quick test_sizing_speeds_up;
+          Alcotest.test_case "idempotent when met" `Quick
+            test_sizing_idempotent_when_met;
+          Alcotest.test_case "relax/snapshot/restore" `Quick
+            test_relax_and_snapshot;
+          Alcotest.test_case "storage untouched" `Quick
+            test_sizing_never_touches_storage;
+        ] );
+    ]

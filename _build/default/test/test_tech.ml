@@ -1,0 +1,134 @@
+(* Tests for the technology models: voltage scaling and the Table II
+   node-scaling rules. *)
+
+let node = Node.n40
+
+let check_float = Alcotest.(check (float 1e-6))
+let check_bool = Alcotest.(check bool)
+
+let test_delay_scale_identity () =
+  check_float "nominal voltage scales by 1" 1.0
+    (Voltage.delay_scale node ~vdd:node.Node.vdd_nominal)
+
+let test_delay_scale_monotone () =
+  let vs = [ 0.6; 0.7; 0.8; 0.9; 1.0; 1.1; 1.2; 1.3 ] in
+  let scales = List.map (fun vdd -> Voltage.delay_scale node ~vdd) vs in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  check_bool "delay decreases with voltage" true (decreasing scales)
+
+let test_delay_scale_subthreshold () =
+  check_bool "below Vth is infinitely slow" true
+    (Float.is_integer (Voltage.delay_scale node ~vdd:0.2) = false
+    || Voltage.delay_scale node ~vdd:0.2 = infinity);
+  check_bool "at Vth infinite" true
+    (Voltage.delay_scale node ~vdd:node.Node.vth = infinity)
+
+let test_energy_scale () =
+  check_float "quadratic" 1.0 (Voltage.energy_scale node ~vdd:1.1);
+  let e07 = Voltage.energy_scale node ~vdd:0.7 in
+  check_bool "0.7V saves energy" true (e07 < 0.45 && e07 > 0.35)
+
+let test_fmax () =
+  let f = Voltage.fmax node ~crit_path_ps:1000.0 ~vdd:1.1 in
+  check_bool "1 ns path = 1 GHz at nominal" true
+    (Float.abs (f -. 1e9) < 1e6);
+  check_bool "higher voltage, higher fmax" true
+    (Voltage.fmax node ~crit_path_ps:1000.0 ~vdd:1.2 > f)
+
+let test_passes () =
+  check_bool "easily passes" true
+    (Voltage.passes node ~crit_path_ps:500.0 ~vdd:1.1 ~freq_hz:1e9);
+  check_bool "fails at 3 GHz" false
+    (Voltage.passes node ~crit_path_ps:500.0 ~vdd:1.1 ~freq_hz:3e9)
+
+let test_shmoo_monotone_in_v () =
+  (* if a frequency passes at some voltage it passes at any higher one *)
+  let crit = 900.0 in
+  List.iter
+    (fun f ->
+      let passing =
+        List.filter
+          (fun vdd -> Voltage.passes node ~crit_path_ps:crit ~vdd ~freq_hz:f)
+          [ 0.6; 0.7; 0.8; 0.9; 1.0; 1.1; 1.2 ]
+      in
+      match passing with
+      | [] -> ()
+      | lowest :: _ ->
+          List.iter
+            (fun vdd ->
+              if vdd >= lowest then
+                check_bool "monotone" true
+                  (Voltage.passes node ~crit_path_ps:crit ~vdd ~freq_hz:f))
+            [ 0.6; 0.7; 0.8; 0.9; 1.0; 1.1; 1.2 ])
+    [ 2e8; 5e8; 1e9 ]
+
+(* ---------------- node roadmap ---------------- *)
+
+let test_node_steps () =
+  check_float "same node" 0.0 (Node.node_steps ~from_nm:40.0 ~to_nm:40.0);
+  check_float "40 to 5nm is 6 steps" 6.0
+    (Node.node_steps ~from_nm:40.0 ~to_nm:5.0);
+  check_float "40 to 3nm is 8 steps" 8.0
+    (Node.node_steps ~from_nm:40.0 ~to_nm:3.0);
+  check_float "40 to 55nm is -1 step" (-1.0)
+    (Node.node_steps ~from_nm:40.0 ~to_nm:55.0)
+
+(* ---------------- Table II scaling rules ---------------- *)
+
+let test_to_1b1b () =
+  check_float "4x4 bits = x16" 16.0
+    (Scaling.to_1b1b ~input_bits:4 ~weight_bits:4 1.0)
+
+let test_published_roundtrip () =
+  (* the stored raw figures must reproduce the paper's Table II numbers
+     through the scaling rules *)
+  let close label expected actual =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %.1f vs %.1f" label expected actual)
+      true
+      (Float.abs (expected -. actual) /. expected < 0.02)
+  in
+  let p = Scaling.isscc22 in
+  close "ISSCC22 TOPS" 2.9 (Scaling.tops_scaled p);
+  close "ISSCC22 TOPS/mm2" 104.0 (Scaling.area_eff_scaled p);
+  close "ISSCC22 TOPS/W" 842.0 (Scaling.energy_eff_scaled p);
+  let p = Scaling.isscc24 in
+  close "ISSCC24 TOPS" 8.2 (Scaling.tops_scaled p);
+  close "ISSCC24 TOPS/mm2" 98.0 (Scaling.area_eff_scaled p);
+  close "ISSCC24 TOPS/W" 1090.0 (Scaling.energy_eff_scaled p);
+  let p = Scaling.tcas24 in
+  close "TCAS TOPS" 0.8 (Scaling.tops_scaled p);
+  close "TCAS TOPS/W" 2848.0 (Scaling.energy_eff_scaled p)
+
+let test_published_complete () =
+  Alcotest.(check int) "four published designs" 4
+    (List.length Scaling.published)
+
+let () =
+  Alcotest.run "tech"
+    [
+      ( "voltage",
+        [
+          Alcotest.test_case "identity at nominal" `Quick
+            test_delay_scale_identity;
+          Alcotest.test_case "monotone" `Quick test_delay_scale_monotone;
+          Alcotest.test_case "subthreshold" `Quick
+            test_delay_scale_subthreshold;
+          Alcotest.test_case "energy" `Quick test_energy_scale;
+          Alcotest.test_case "fmax" `Quick test_fmax;
+          Alcotest.test_case "passes" `Quick test_passes;
+          Alcotest.test_case "shmoo monotone" `Quick
+            test_shmoo_monotone_in_v;
+        ] );
+      ("roadmap", [ Alcotest.test_case "node steps" `Quick test_node_steps ]);
+      ( "scaling",
+        [
+          Alcotest.test_case "1b1b" `Quick test_to_1b1b;
+          Alcotest.test_case "Table II round-trip" `Quick
+            test_published_roundtrip;
+          Alcotest.test_case "published set" `Quick test_published_complete;
+        ] );
+    ]

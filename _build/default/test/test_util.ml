@@ -1,0 +1,197 @@
+(* Unit and property tests for the util library. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---------------- Intmath ---------------- *)
+
+let test_ceil_log2 () =
+  check_int "log2 1" 0 (Intmath.ceil_log2 1);
+  check_int "log2 2" 1 (Intmath.ceil_log2 2);
+  check_int "log2 3" 2 (Intmath.ceil_log2 3);
+  check_int "log2 64" 6 (Intmath.ceil_log2 64);
+  check_int "log2 65" 7 (Intmath.ceil_log2 65)
+
+let test_floor_log2 () =
+  check_int "floor 1" 0 (Intmath.floor_log2 1);
+  check_int "floor 3" 1 (Intmath.floor_log2 3);
+  check_int "floor 64" 6 (Intmath.floor_log2 64);
+  check_int "floor 127" 6 (Intmath.floor_log2 127)
+
+let test_pow2 () =
+  check_int "2^0" 1 (Intmath.pow2 0);
+  check_int "2^10" 1024 (Intmath.pow2 10)
+
+let test_is_pow2 () =
+  check_bool "1" true (Intmath.is_pow2 1);
+  check_bool "2" true (Intmath.is_pow2 2);
+  check_bool "3" false (Intmath.is_pow2 3);
+  check_bool "0" false (Intmath.is_pow2 0);
+  check_bool "-4" false (Intmath.is_pow2 (-4))
+
+let test_ceil_div () =
+  check_int "7/2" 4 (Intmath.ceil_div 7 2);
+  check_int "8/2" 4 (Intmath.ceil_div 8 2);
+  check_int "0/5" 0 (Intmath.ceil_div 0 5)
+
+let test_clamp () =
+  check_int "below" 2 (Intmath.clamp ~lo:2 ~hi:8 0);
+  check_int "above" 8 (Intmath.clamp ~lo:2 ~hi:8 99);
+  check_int "inside" 5 (Intmath.clamp ~lo:2 ~hi:8 5)
+
+let test_sign_extend () =
+  check_int "positive" 3 (Intmath.sign_extend ~width:4 3);
+  check_int "negative" (-1) (Intmath.sign_extend ~width:4 0xF);
+  check_int "min" (-8) (Intmath.sign_extend ~width:4 8);
+  check_int "wraps high bits" (-1) (Intmath.sign_extend ~width:4 0xFF)
+
+let test_bits_for_unsigned () =
+  check_int "0" 1 (Intmath.bits_for_unsigned 0);
+  check_int "1" 1 (Intmath.bits_for_unsigned 1);
+  check_int "255" 8 (Intmath.bits_for_unsigned 255);
+  check_int "256" 9 (Intmath.bits_for_unsigned 256)
+
+let prop_sign_extend_roundtrip =
+  QCheck.Test.make ~name:"sign_extend inverts truncate_bits"
+    QCheck.(pair (int_range 1 20) (int_range (-100000) 100000))
+    (fun (w, v) ->
+      QCheck.assume (v >= -Intmath.pow2 (w - 1) && v < Intmath.pow2 (w - 1));
+      Intmath.sign_extend ~width:w (Intmath.truncate_bits ~width:w v) = v)
+
+let prop_ceil_log2_bound =
+  QCheck.Test.make ~name:"ceil_log2 bounds" QCheck.(int_range 1 1000000)
+    (fun n ->
+      let k = Intmath.ceil_log2 n in
+      Intmath.pow2 k >= n && (k = 0 || Intmath.pow2 (k - 1) < n))
+
+(* ---------------- Pareto ---------------- *)
+
+let test_dominates () =
+  check_bool "strict" true (Pareto.dominates [| 1.; 1. |] [| 2.; 2. |]);
+  check_bool "partial" false (Pareto.dominates [| 1.; 3. |] [| 2.; 2. |]);
+  check_bool "equal" false (Pareto.dominates [| 1.; 1. |] [| 1.; 1. |]);
+  check_bool "one-better" true (Pareto.dominates [| 1.; 2. |] [| 1.; 3. |])
+
+let test_frontier () =
+  let pts = [ (1., 5.); (2., 2.); (5., 1.); (3., 3.); (6., 6.) ] in
+  let objectives (a, b) = [| a; b |] in
+  let f = Pareto.frontier ~objectives pts in
+  check_int "frontier size" 3 (List.length f);
+  check_bool "dominated point removed" false (List.mem (3., 3.) f);
+  check_bool "corner kept" true (List.mem (1., 5.) f)
+
+let prop_frontier_sound =
+  (* no frontier member is dominated by any input point *)
+  QCheck.Test.make ~name:"frontier members undominated"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30)
+              (pair (float_range 0. 10.) (float_range 0. 10.)))
+    (fun pts ->
+      let objectives (a, b) = [| a; b |] in
+      let f = Pareto.frontier ~objectives pts in
+      List.for_all
+        (fun m ->
+          not
+            (List.exists
+               (fun p -> Pareto.dominates (objectives p) (objectives m))
+               pts))
+        f)
+
+(* ---------------- Vec ---------------- *)
+
+let test_vec_push_get () =
+  let v = Vec.create 0 in
+  for i = 0 to 999 do
+    Alcotest.(check int) "push index" i (Vec.push v (i * 2))
+  done;
+  check_int "length" 1000 (Vec.length v);
+  check_int "get" 84 (Vec.get v 42);
+  Vec.set v 42 7;
+  check_int "set" 7 (Vec.get v 42);
+  let arr = Vec.to_array v in
+  check_int "to_array length" 1000 (Array.length arr);
+  check_int "to_array content" 7 arr.(42)
+
+let test_vec_iter () =
+  let v = Vec.create 0 in
+  List.iter (fun x -> ignore (Vec.push v x)) [ 1; 2; 3 ];
+  let sum = ref 0 in
+  Vec.iter (fun x -> sum := !sum + x) v;
+  check_int "iter sum" 6 !sum;
+  let isum = ref 0 in
+  Vec.iteri (fun i x -> isum := !isum + (i * x)) v;
+  check_int "iteri weighted" 8 !isum
+
+(* ---------------- Rng ---------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 50 do
+    check_int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_signed_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 200 do
+    let v = Rng.signed rng ~width:4 in
+    check_bool "in range" true (v >= -8 && v < 8)
+  done
+
+let test_rng_sparse () =
+  let rng = Rng.create 11 in
+  let zeros = ref 0 in
+  let n = 2000 in
+  for _ = 1 to n do
+    if Rng.sparse_signed rng ~width:8 ~density:0.125 = 0 then incr zeros
+  done;
+  let frac = float_of_int !zeros /. float_of_int n in
+  check_bool "sparsity near 87.5%" true (frac > 0.82 && frac < 0.92)
+
+(* ---------------- Table ---------------- *)
+
+let test_table_render () =
+  let t = Table.make ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  let s = Table.render t in
+  check_bool "has header" true (String.length s > 0);
+  (* all lines equal length *)
+  let lines = String.split_on_char '\n' s in
+  let lens = List.map String.length lines in
+  check_bool "aligned" true
+    (List.for_all (fun l -> l = List.hd lens) lens)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_sign_extend_roundtrip; prop_ceil_log2_bound; prop_frontier_sound ]
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "intmath",
+        [
+          Alcotest.test_case "ceil_log2" `Quick test_ceil_log2;
+          Alcotest.test_case "floor_log2" `Quick test_floor_log2;
+          Alcotest.test_case "pow2" `Quick test_pow2;
+          Alcotest.test_case "is_pow2" `Quick test_is_pow2;
+          Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "sign_extend" `Quick test_sign_extend;
+          Alcotest.test_case "bits_for_unsigned" `Quick test_bits_for_unsigned;
+        ] );
+      ( "pareto",
+        [
+          Alcotest.test_case "dominates" `Quick test_dominates;
+          Alcotest.test_case "frontier" `Quick test_frontier;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "push/get/set" `Quick test_vec_push_get;
+          Alcotest.test_case "iter" `Quick test_vec_iter;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "signed range" `Quick test_rng_signed_range;
+          Alcotest.test_case "sparsity" `Quick test_rng_sparse;
+        ] );
+      ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
+      ("properties", qtests);
+    ]
