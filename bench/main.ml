@@ -1,12 +1,15 @@
 (* SynDCIM benchmark harness.
 
    Regenerates every table and figure of the paper's evaluation section
-   (printed as text tables/plots on stdout), followed by a Bechamel
-   microbenchmark section timing the compiler kernels each experiment
-   leans on.
+   (printed as text tables/plots on stdout), followed by a wall-clock
+   comparison of the parallel candidate sweep against the sequential one
+   and a Bechamel microbenchmark section timing the compiler kernels each
+   experiment leans on. Section wall-clocks and Bechamel estimates are
+   also emitted to BENCH_RESULTS.json in the invocation directory.
 
    Environment:
      SYNDCIM_BENCH_QUICK=1   smaller dimensions (CI-friendly)
+     SYNDCIM_JOBS=N          worker domains for the parallel sections
 
    Run with: dune exec bench/main.exe *)
 
@@ -19,11 +22,60 @@ let banner title =
   let bar = String.make 72 '=' in
   Printf.printf "\n%s\n%s\n%s\n%!" bar title bar
 
+(* (name, seconds) of every timed section, in run order *)
+let section_times : (string * float) list ref = ref []
+
 let time_section name f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  Printf.printf "[%s finished in %.1f s]\n%!" name (Unix.gettimeofday () -. t0);
+  let dt = Unix.gettimeofday () -. t0 in
+  section_times := (name, dt) :: !section_times;
+  Printf.printf "[%s finished in %.1f s]\n%!" name dt;
   r
+
+(* (name, ns/run) for every Bechamel kernel *)
+let kernel_times : (string * float) list ref = ref []
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_results ~jobs ~seq_s ~par_s =
+  let b = Buffer.create 4096 in
+  let entry (name, v) =
+    Printf.sprintf "    {\"name\": \"%s\", \"value\": %.6g}" (json_escape name) v
+  in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"quick\": %b,\n  \"jobs\": %d,\n" quick jobs);
+  Buffer.add_string b "  \"sections_s\": [\n";
+  Buffer.add_string b
+    (String.concat ",\n" (List.map entry (List.rev !section_times)));
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"pareto_sweep\": {\"jobs1_s\": %.6g, \"jobsN_s\": %.6g, \
+        \"speedup\": %.6g},\n"
+       seq_s par_s
+       (if par_s > 0.0 then seq_s /. par_s else 0.0));
+  Buffer.add_string b "  \"kernels_ns_per_run\": [\n";
+  Buffer.add_string b
+    (String.concat ",\n" (List.map entry (List.rev !kernel_times)));
+  Buffer.add_string b "\n  ]\n}\n";
+  let oc = open_out "BENCH_RESULTS.json" in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Printf.printf "\nwrote BENCH_RESULTS.json\n%!"
 
 let () =
   let lib = Library.n40 () in
@@ -72,6 +124,30 @@ let () =
   banner "Ablation D — memory-compute ratio";
   time_section "ablation D" (fun () ->
       Ablation.print_mcr_sweep (Ablation.mcr_sweep lib));
+
+  (* ---------------- parallel sweep comparison ---------------- *)
+  banner "Parallel sweep — pareto_sweep wall-clock, jobs=1 vs jobs=N";
+  let jobs = Pool.default_jobs () in
+  let sweep_spec =
+    if quick then { Spec.fig8 with Spec.rows = 32; cols = 32; mcr = 1 }
+    else Spec.fig8
+  in
+  (* sequential run first also warms the SCL memo, so the parallel run
+     measures the domain pool rather than first-touch characterization *)
+  let time_sweep j =
+    let t0 = Unix.gettimeofday () in
+    let front, cloud = Searcher.pareto_sweep ~jobs:j lib scl sweep_spec in
+    (Unix.gettimeofday () -. t0, List.length front, List.length cloud)
+  in
+  let seq_s, f1, c1 = time_sweep 1 in
+  let par_s, fn, cn = time_sweep jobs in
+  Printf.printf
+    "jobs=1: %.2f s (%d frontier / %d cloud)\njobs=%d: %.2f s (%d frontier \
+     / %d cloud)\nspeedup: %.2fx\n%!"
+    seq_s f1 c1 jobs par_s fn cn
+    (if par_s > 0.0 then seq_s /. par_s else 0.0);
+  if (f1, c1) <> (fn, cn) then
+    failwith "parallel sweep disagrees with sequential sweep";
 
   (* ---------------- Bechamel kernels ---------------- *)
   banner "Bechamel — compiler kernel microbenchmarks";
@@ -132,8 +208,10 @@ let () =
         (fun name result ->
           match Analyze.OLS.estimates result with
           | Some [ est ] ->
+              kernel_times := (name, est) :: !kernel_times;
               Printf.printf "  %-36s %12.1f ns/run\n%!" name est
           | Some _ | None -> Printf.printf "  %-36s (no estimate)\n%!" name)
         results)
     tests;
+  write_results ~jobs ~seq_s ~par_s;
   Printf.printf "\nbench: all experiments regenerated.\n"

@@ -124,33 +124,38 @@ let exp_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller dimensions, faster run.")
   in
-  let run which quick =
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains for the parallel sweeps (default: the                    SYNDCIM_JOBS environment variable, then the number of                    cores).")
+  in
+  let run which quick jobs =
     let lib = Library.n40 () in
     let scl = Scl.create lib in
     let want name = match which with None -> true | Some w -> w = name in
     if want "table1" then ignore (Table1.run lib scl);
     if want "fig7" then begin
       let dims = if quick then [ 32; 64 ] else [ 32; 64; 128; 256 ] in
-      Fig7.print (Fig7.run ~dims lib scl)
+      Fig7.print (Fig7.run ~dims ?jobs lib scl)
     end;
-    if want "fig8" then Fig8.print (Fig8.run lib scl);
+    if want "fig8" then Fig8.print (Fig8.run ?jobs lib scl);
     if want "fig9" then begin
       let a = Compiler.compile lib scl Spec.fig8 in
-      Fig9.print (Fig9.run lib a)
+      Fig9.print (Fig9.run ?jobs lib a)
     end;
-    if want "table2" then Table2.print (Table2.measure lib scl);
+    if want "table2" then Table2.print ?jobs (Table2.measure lib scl);
     if want "ablations" then begin
       let heights = if quick then [ 16; 32 ] else [ 16; 32; 64; 128 ] in
-      Ablation.print_adder_trees (Ablation.adder_trees ~heights scl);
+      Ablation.print_adder_trees (Ablation.adder_trees ~heights ?jobs scl);
       Ablation.print_search_ladder
-        (Ablation.search_ladder lib scl Spec.fig8);
+        (Ablation.search_ladder ?jobs lib scl Spec.fig8);
       let dims = if quick then [ 32 ] else [ 32; 64; 128 ] in
-      Ablation.print_placements (Ablation.placements ~dims lib)
+      Ablation.print_placements (Ablation.placements ~dims ?jobs lib)
     end;
     0
   in
   Cmd.v (Cmd.info "exp" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ which $ quick)
+    Term.(const run $ which $ quick $ jobs_arg)
 
 (* ---------------- library ---------------- *)
 

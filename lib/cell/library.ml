@@ -158,16 +158,22 @@ type t = {
   get : Cell.kind -> Cell.drive -> params;
 }
 
-(** [n40 ()] builds the synthetic 40 nm library (memoized per kind+drive). *)
+(** [n40 ()] builds the synthetic 40 nm library. The per-(kind, drive)
+    table is populated eagerly over {!Cell.all_kinds} x every drive, so
+    lookups never mutate it afterwards — which is what lets parallel
+    searcher domains share one library without locking. *)
 let n40 () =
-  let tbl = Hashtbl.create 64 in
+  let tbl = Hashtbl.create 128 in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun d -> Hashtbl.replace tbl (k, d) (apply_drive (base_params k) d))
+        [ Cell.X1; Cell.X2; Cell.X4 ])
+    Cell.all_kinds;
   let get k d =
     match Hashtbl.find_opt tbl (k, d) with
     | Some p -> p
-    | None ->
-        let p = apply_drive (base_params k) d in
-        Hashtbl.add tbl (k, d) p;
-        p
+    | None -> apply_drive (base_params k) d (* unreachable: all_kinds is total *)
   in
   { node = Node.n40; get }
 

@@ -32,21 +32,23 @@ let tree_menu_with_baseline =
   (Scl.tree_baseline :: Scl.tree_menu)
   @ [ Adder_tree.Csa { fa_ratio = 1.0; reorder = false } ]
 
-let adder_trees ?(heights = [ 16; 32; 64; 128 ]) scl =
-  List.concat_map
-    (fun rows ->
-      List.map
-        (fun topology ->
-          let p = Scl.adder_tree scl ~topology ~rows in
-          {
-            rows;
-            topology = Adder_tree.topology_name topology;
-            delay_ps = p.Ppa.delay_ps;
-            area_um2 = p.Ppa.area_um2;
-            energy_fj = p.Ppa.energy_fj;
-          })
-        tree_menu_with_baseline)
-    heights
+let adder_trees ?(heights = [ 16; 32; 64; 128 ]) ?jobs scl =
+  let grid =
+    List.concat_map
+      (fun rows -> List.map (fun t -> (rows, t)) tree_menu_with_baseline)
+      heights
+  in
+  Pool.parallel_map ?jobs
+    (fun (rows, topology) ->
+      let p = Scl.adder_tree scl ~topology ~rows in
+      {
+        rows;
+        topology = Adder_tree.topology_name topology;
+        delay_ps = p.Ppa.delay_ps;
+        area_um2 = p.Ppa.area_um2;
+        energy_fj = p.Ppa.energy_fj;
+      })
+    grid
 
 let print_adder_trees points =
   print_endline "Ablation A — adder-tree topologies (standalone, per column)";
@@ -77,9 +79,9 @@ type search_point = {
   area_mm2 : float;
 }
 
-let search_ladder ?(freqs_mhz = [ 300.; 500.; 800.; 1100. ]) lib scl
+let search_ladder ?(freqs_mhz = [ 300.; 500.; 800.; 1100. ]) ?jobs lib scl
     (base : Spec.t) =
-  List.map
+  Pool.parallel_map ?jobs
     (fun f ->
       let spec = { base with Spec.mac_freq_hz = f *. 1e6 } in
       let r = Searcher.search lib scl spec in
@@ -125,39 +127,42 @@ type mcr_point = {
     weight storage while sharing one compute element per [mcr] cells,
     trading a little mux delay/area for much higher memory density and
     background weight updates. *)
-let mcr_sweep ?(dim = 32) lib =
-  List.concat_map
-    (fun mcr ->
-      let variants =
-        Cell.Tg_nor :: (if mcr <= 2 then [ Cell.Oai22_fused ] else [])
+let mcr_sweep ?(dim = 32) ?jobs lib =
+  let grid =
+    List.concat_map
+      (fun mcr ->
+        let variants =
+          Cell.Tg_nor :: (if mcr <= 2 then [ Cell.Oai22_fused ] else [])
+        in
+        List.map (fun mul_kind -> (mcr, mul_kind)) variants)
+      [ 1; 2; 4 ]
+  in
+  Pool.parallel_map ?jobs
+    (fun (mcr, mul_kind) ->
+      let cfg =
+        {
+          (Macro_rtl.default ~rows:dim ~cols:dim ~mcr
+             ~input_prec:Precision.int8 ~weight_prec:Precision.int8)
+          with
+          Macro_rtl.mul_kind;
+        }
       in
-      List.map
-        (fun mul_kind ->
-          let cfg =
-            {
-              (Macro_rtl.default ~rows:dim ~cols:dim ~mcr
-                 ~input_prec:Precision.int8 ~weight_prec:Precision.int8)
-              with
-              Macro_rtl.mul_kind;
-            }
-          in
-          let m = Macro_rtl.build lib cfg in
-          let stats = Stats.of_design m.Macro_rtl.design lib in
-          let power =
-            Design_point.measure_power lib m ~freq_hz:5e8 ~vdd:0.9
-              ~input_density:0.5 ~weight_density:0.5 ~macs:4
-          in
-          let memory_kb = float_of_int (dim * dim * mcr) /. 1024.0 in
-          {
-            mcr;
-            mul_variant = Cell.kind_to_string (Cell.Mul mul_kind);
-            area_um2 = stats.Stats.area_um2;
-            memory_kb;
-            density_kb_per_mm2 = memory_kb /. (stats.Stats.area_um2 /. 1e6);
-            power_mw = power.Power.total_w *. 1e3;
-          })
-        variants)
-    [ 1; 2; 4 ]
+      let m = Macro_rtl.build lib cfg in
+      let stats = Stats.of_design m.Macro_rtl.design lib in
+      let power =
+        Design_point.measure_power lib m ~freq_hz:5e8 ~vdd:0.9
+          ~input_density:0.5 ~weight_density:0.5 ~macs:4
+      in
+      let memory_kb = float_of_int (dim * dim * mcr) /. 1024.0 in
+      {
+        mcr;
+        mul_variant = Cell.kind_to_string (Cell.Mul mul_kind);
+        area_um2 = stats.Stats.area_um2;
+        memory_kb;
+        density_kb_per_mm2 = memory_kb /. (stats.Stats.area_um2 /. 1e6);
+        power_mw = power.Power.total_w *. 1e3;
+      })
+    grid
 
 let print_mcr_sweep points =
   print_endline
@@ -191,26 +196,31 @@ type placement_point = {
   area_mm2 : float;
 }
 
-let placements ?(dims = [ 32; 64; 128 ]) lib =
-  List.concat_map
-    (fun dim ->
+let placements ?(dims = [ 32; 64; 128 ]) ?jobs lib =
+  let grid =
+    List.concat_map
+      (fun dim ->
+        List.map (fun style -> (dim, style))
+          [ Floorplan.Sdp; Floorplan.Scattered ])
+      dims
+  in
+  (* each worker builds its own netlist so no two domains share a design *)
+  Pool.parallel_map ?jobs
+    (fun (dim, style) ->
       let cfg =
         Macro_rtl.default ~rows:dim ~cols:dim ~mcr:1
           ~input_prec:Precision.int8 ~weight_prec:Precision.int8
       in
       let m = Macro_rtl.build lib cfg in
-      List.map
-        (fun style ->
-          let s = Post_layout.run lib m ~style in
-          {
-            dim;
-            style = Floorplan.style_name style;
-            crit_ps = s.Post_layout.sta.Sta.crit_ps;
-            wirelength_mm = s.Post_layout.total_wirelength_mm;
-            area_mm2 = s.Post_layout.area_mm2;
-          })
-        [ Floorplan.Sdp; Floorplan.Scattered ])
-    dims
+      let s = Post_layout.run lib m ~style in
+      {
+        dim;
+        style = Floorplan.style_name style;
+        crit_ps = s.Post_layout.sta.Sta.crit_ps;
+        wirelength_mm = s.Post_layout.total_wirelength_mm;
+        area_mm2 = s.Post_layout.area_mm2;
+      })
+    grid
 
 let print_placements points =
   print_endline "Ablation C — SDP vs scattered placement (post-layout)";

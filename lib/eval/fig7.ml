@@ -68,18 +68,16 @@ let run_point lib scl ~dim ~name ~input_prec ~weight_prec =
   }
 
 (** [run lib scl ~dims] computes the full figure; [dims] defaults to the
-    paper's four sizes. *)
-let run ?(dims = [ 32; 64; 128; 256 ]) lib scl =
-  let points =
-    List.concat_map
-      (fun dim ->
-        List.map
-          (fun (name, ip, wp) ->
-            run_point lib scl ~dim ~name ~input_prec:ip ~weight_prec:wp)
-          precisions)
-      dims
+    paper's four sizes. The (dimension, precision) grid points are
+    independent compilations, so they fan out over the domain pool. *)
+let run ?(dims = [ 32; 64; 128; 256 ]) ?jobs lib scl =
+  let grid =
+    List.concat_map (fun dim -> List.map (fun p -> (dim, p)) precisions) dims
   in
-  points
+  Pool.parallel_map ?jobs
+    (fun (dim, (name, ip, wp)) ->
+      run_point lib scl ~dim ~name ~input_prec:ip ~weight_prec:wp)
+    grid
 
 let table points =
   let rows =

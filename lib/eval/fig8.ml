@@ -18,13 +18,20 @@ type result = {
   cloud : Design_point.t list;
   implemented : selected list;
   baseline_points : (string * Design_point.t) list;
+  cache : Eval_cache.stats;
+      (** hit/miss counters of the sweep's shared evaluation cache *)
 }
 
-let run lib scl =
+(** [run ?jobs lib scl] — the sweep fans out over a domain pool and the
+    four selected designs go through the back-end in parallel as well;
+    each back-end compile searches its own configuration, so they share
+    no mutable state. *)
+let run ?jobs lib scl =
   let spec = Spec.fig8 in
-  let frontier, cloud = Searcher.pareto_sweep lib scl spec in
+  let cache = Eval_cache.create () in
+  let frontier, cloud = Searcher.pareto_sweep ?jobs ~cache lib scl spec in
   let implemented =
-    List.map
+    Pool.parallel_map ?jobs
       (fun preference ->
         {
           preference = Spec.preference_name preference;
@@ -36,7 +43,13 @@ let run lib scl =
       ]
   in
   let baseline_points = Baselines.all lib spec in
-  { frontier; cloud; implemented; baseline_points }
+  {
+    frontier;
+    cloud;
+    implemented;
+    baseline_points;
+    cache = Eval_cache.stats cache;
+  }
 
 let point_row label (p : Design_point.t) =
   [
@@ -67,6 +80,7 @@ let print (r : result) =
        rows);
   Printf.printf "cloud: %d timing-meeting points visited, %d on frontier\n"
     (List.length r.cloud) (List.length r.frontier);
+  print_endline (Report.eval_cache_line r.cache);
   print_endline "implemented (post-layout, as the paper's four selections):";
   let rows =
     List.map

@@ -19,24 +19,26 @@ let default_vdds = [| 0.6; 0.7; 0.8; 0.9; 1.0; 1.1; 1.2; 1.3 |]
 let default_freqs_mhz =
   [| 100.; 200.; 300.; 400.; 500.; 600.; 700.; 800.; 900.; 1000.; 1100.; 1200.; 1300. |]
 
-(** [shmoo node ~crit_ps] computes the grid. *)
-let shmoo ?(vdds = default_vdds) ?(freqs_mhz = default_freqs_mhz) node
+(** [shmoo node ~crit_ps] computes the grid; each supply-voltage row is
+    independent and fans out over the domain pool. *)
+let shmoo ?(vdds = default_vdds) ?(freqs_mhz = default_freqs_mhz) ?jobs node
     ~crit_ps =
   let pass =
-    Array.map
+    Pool.parallel_map ?jobs
       (fun vdd ->
         Array.map
           (fun f_mhz ->
             Voltage.passes node ~crit_path_ps:crit_ps ~vdd
               ~freq_hz:(f_mhz *. 1e6))
           freqs_mhz)
-      vdds
+      (Array.to_list vdds)
+    |> Array.of_list
   in
   { crit_ps; vdds; freqs_mhz; pass }
 
 (** [run lib artifact] derives the shmoo of a compiled macro. *)
-let run lib (a : Compiler.artifact) =
-  shmoo lib.Library.node ~crit_ps:a.Compiler.metrics.Compiler.crit_ps
+let run ?jobs lib (a : Compiler.artifact) =
+  shmoo ?jobs lib.Library.node ~crit_ps:a.Compiler.metrics.Compiler.crit_ps
 
 (** [fmax_mhz t ~vdd] — highest passing grid frequency at [vdd]. *)
 let fmax_mhz (t : t) ~vdd =

@@ -64,9 +64,9 @@ let measure lib scl : this_design =
     tops_w_1b = tops_at eff_hz /. power.Power.total_w;
   }
 
-let rows (d : this_design) =
+let rows ?jobs (d : this_design) =
   let published =
-    List.map
+    Pool.parallel_map ?jobs
       (fun (p : Scaling.datapoint) ->
         [
           p.Scaling.label;
@@ -96,21 +96,21 @@ let rows (d : this_design) =
   in
   published @ [ this ]
 
-let table d =
+let table ?jobs d =
   Table.make
     ~header:
       [
         "design"; "tech"; "array"; "cell"; "area (mm2)"; "MAC-write";
         "TOPS*"; "TOPS/mm2*"; "TOPS/W*";
       ]
-    (rows d)
+    (rows ?jobs d)
 
-let print d =
+let print ?jobs d =
   print_endline
     "Table II — comparison with state-of-the-art DCIM macros (*scaled per \
      the paper's footnotes: 4Kb 1bx1b; 40nm with 80 %/node area and 30 \
      %/node energy improvements)";
-  Table.print (table d);
+  Table.print (table ?jobs d);
   Printf.printf
     "this design: peak %.2f GHz @ 1.2 V; efficiency point 0.7 V\n"
     d.peak_ghz

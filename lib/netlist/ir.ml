@@ -200,3 +200,23 @@ let fanout_load (d : design) (lib : Library.t) ?(wire_cap = fun _ -> 0.0) net =
       0.0 d.consumers.(net)
   in
   pins +. wire_cap net
+
+(** [fanout_loads d lib ~wire_cap ()] — {!fanout_load} for every net at
+    once, as one array indexed by net id. STA forward/backward passes and
+    the power estimator all walk loads per net per iteration; computing
+    the map once per frozen design (per sizing round — loads depend on
+    the mutable instance drives) and sharing it replaces thousands of
+    consumer-list folds per evaluation. *)
+let fanout_loads (d : design) (lib : Library.t) ?(wire_cap = fun _ -> 0.0) ()
+    : float array =
+  let loads = Array.make d.n_nets 0.0 in
+  Array.iter
+    (fun inst ->
+      let prm = Library.params lib inst.kind inst.drive in
+      let cap = prm.Library.input_cap_ff in
+      Array.iter (fun net -> loads.(net) <- loads.(net) +. cap) inst.ins)
+    d.insts;
+  for net = 0 to d.n_nets - 1 do
+    loads.(net) <- loads.(net) +. wire_cap net
+  done;
+  loads

@@ -22,6 +22,11 @@ type t = {
   mutable cycles : int;
   mutable weight_flips : int;  (** SRAM bits flipped by writes *)
   mutable weight_writes : int;  (** SRAM write operations *)
+  scratch_ins : bool array;
+      (** {!eval} staging buffer, {!Cell.max_inputs} wide — reused for
+          every instance so the settle loop allocates nothing *)
+  scratch_outs : bool array;  (** same, {!Cell.max_outputs} wide *)
+  seq_next : bool array;  (** {!clock}'s next-state staging, per seq slot *)
 }
 
 let create (d : Ir.design) =
@@ -37,6 +42,9 @@ let create (d : Ir.design) =
       cycles = 0;
       weight_flips = 0;
       weight_writes = 0;
+      scratch_ins = Array.make Cell.max_inputs false;
+      scratch_outs = Array.make Cell.max_outputs false;
+      seq_next = Array.make (max (Array.length d.seq) 1) false;
     }
   in
   t.values.(Ir.const1) <- true;
@@ -90,15 +98,26 @@ let set_weight t ~row ~col ~copy bit =
       set_net t t.d.insts.(i).outs.(0) bit
 
 (** [eval t] settles all combinational logic from the current inputs and
-    register/storage state. *)
+    register/storage state. Allocation-free: inputs and outputs stage
+    through the simulator's scratch buffers ({!Cell.eval_into}), which
+    matters because this loop runs per instance on every cycle of every
+    power simulation the searcher issues. *)
 let eval t =
   let d = t.d in
+  let ins_buf = t.scratch_ins and outs_buf = t.scratch_outs in
+  let values = t.values in
   Array.iter
     (fun i ->
       let inst = d.insts.(i) in
-      let ins = Array.map (fun net -> t.values.(net)) inst.ins in
-      let outs = Cell.eval inst.kind ins in
-      Array.iteri (fun o net -> set_net t net outs.(o)) inst.outs)
+      let ins = inst.Ir.ins in
+      for p = 0 to Array.length ins - 1 do
+        ins_buf.(p) <- values.(ins.(p))
+      done;
+      Cell.eval_into inst.Ir.kind ins_buf outs_buf;
+      let outs = inst.Ir.outs in
+      for o = 0 to Array.length outs - 1 do
+        set_net t outs.(o) outs_buf.(o)
+      done)
     d.comb_order
 
 (** [clock t] commits every flip-flop: a plain DFF captures D, an
@@ -106,7 +125,7 @@ let eval t =
     onto the nets; call {!eval} afterwards to propagate. *)
 let clock t =
   let d = t.d in
-  let next = Array.map (fun _ -> false) d.seq in
+  let next = t.seq_next in
   Array.iteri
     (fun idx i ->
       let inst = d.insts.(i) in

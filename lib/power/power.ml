@@ -33,12 +33,19 @@ let tag_label = function
   | Ir.Pipeline_reg _ -> "pipeline"
   | Ir.Plain -> "other"
 
-(** [estimate d lib sim ~freq_hz ~vdd ?wire_cap ()] converts the toggle
-    statistics of a finished simulation into a power report at the given
-    operating point. [sim] must have run at least one cycle. *)
+(** [estimate d lib sim ~freq_hz ~vdd ?wire_cap ?loads ()] converts the
+    toggle statistics of a finished simulation into a power report at the
+    given operating point. [sim] must have run at least one cycle.
+    [loads] is the per-net fanout-load map ({!Ir.fanout_loads}); pass the
+    one the timing pass already computed to avoid rebuilding it here. *)
 let estimate (d : Ir.design) (lib : Library.t) (sim : Sim.t) ~freq_hz ~vdd
-    ?(wire_cap = fun (_ : Ir.net) -> 0.0) () =
+    ?(wire_cap = fun (_ : Ir.net) -> 0.0) ?loads () =
   assert (sim.Sim.cycles > 0);
+  let loads =
+    match loads with
+    | Some l -> l
+    | None -> Ir.fanout_loads d lib ~wire_cap ()
+  in
   let node = lib.Library.node in
   let esc = Voltage.energy_scale node ~vdd in
   let lsc = Voltage.leakage_scale node ~vdd in
@@ -58,7 +65,7 @@ let estimate (d : Ir.design) (lib : Library.t) (sim : Sim.t) ~freq_hz ~vdd
         | Some (i, _o) ->
             let inst = d.insts.(i) in
             let p = Library.params lib inst.kind inst.drive in
-            let load = Ir.fanout_load d lib ~wire_cap net in
+            let load = loads.(net) in
             let per_toggle =
               (p.energy_fj *. esc) +. (0.5 *. load *. vdd *. vdd)
             in

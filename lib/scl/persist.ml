@@ -10,7 +10,8 @@ let save (scl : Scl.t) path =
   let oc = open_out path in
   output_string oc "key,delay_ps,area_um2,energy_fj,leakage_nw\n";
   let rows =
-    Hashtbl.fold (fun k (v : Ppa.t) acc -> (k, v) :: acc) scl.Scl.table []
+    Mutex.protect scl.Scl.lock (fun () ->
+        Hashtbl.fold (fun k (v : Ppa.t) acc -> (k, v) :: acc) scl.Scl.table [])
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   List.iter
@@ -43,8 +44,9 @@ let load (scl : Scl.t) path =
              with
              | Some delay_ps, Some area_um2, Some energy_fj, Some leakage_nw
                ->
-                 Hashtbl.replace scl.Scl.table key
-                   { Ppa.delay_ps; area_um2; energy_fj; leakage_nw };
+                 Mutex.protect scl.Scl.lock (fun () ->
+                     Hashtbl.replace scl.Scl.table key
+                       { Ppa.delay_ps; area_um2; energy_fj; leakage_nw });
                  incr count
              | _ -> raise (Bad_format line))
          | _ -> raise (Bad_format line)
@@ -57,4 +59,5 @@ let load (scl : Scl.t) path =
   !count
 
 (** [entries scl] — the number of characterized entries currently cached. *)
-let entries (scl : Scl.t) = Hashtbl.length scl.Scl.table
+let entries (scl : Scl.t) =
+  Mutex.protect scl.Scl.lock (fun () -> Hashtbl.length scl.Scl.table)

@@ -13,17 +13,28 @@ type key = string
 type t = {
   lib : Library.t;
   table : (key, Ppa.t) Hashtbl.t;
+  lock : Mutex.t;
+      (** guards [table]: parallel searcher domains share one SCL, and a
+          plain Hashtbl is not safe under concurrent lookup/insert *)
 }
 
-let create lib = { lib; table = Hashtbl.create 256 }
+let create lib = { lib; table = Hashtbl.create 256; lock = Mutex.create () }
 
+(* Characterization runs outside the lock (it is the expensive part and
+   may itself build netlists); two domains racing on a cold key both
+   characterize, and the first insert wins — harmless because entries are
+   deterministic functions of the key. *)
 let memo t key f =
-  match Hashtbl.find_opt t.table key with
+  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key) with
   | Some v -> v
   | None ->
       let v = f () in
-      Hashtbl.add t.table key v;
-      v
+      Mutex.protect t.lock (fun () ->
+          match Hashtbl.find_opt t.table key with
+          | Some v' -> v'
+          | None ->
+              Hashtbl.add t.table key v;
+              v)
 
 (** Adder-tree topologies offered by the library, ordered from most
     power/area-efficient to fastest (the order tt1 walks). *)

@@ -40,7 +40,7 @@ let throughput_tops (m : Macro_rtl.t) ~freq_hz =
     ~macs] loads sparse random weights and streams [macs] back-to-back
     MACs. Exposed for the experiment harness, which uses the paper's
     measurement sparsity. *)
-let measure_power ?(seed = 0xD1C) lib (m : Macro_rtl.t) ~freq_hz ~vdd
+let measure_power ?(seed = 0xD1C) ?loads lib (m : Macro_rtl.t) ~freq_hz ~vdd
     ~input_density ~weight_density ~macs =
   let rng = Rng.create seed in
   let sim = Sim.create m.design in
@@ -49,18 +49,20 @@ let measure_power ?(seed = 0xD1C) lib (m : Macro_rtl.t) ~freq_hz ~vdd
     (Testbench.random_weights rng m ~density:weight_density);
   Sim.reset_stats sim;
   Testbench.run_stream m sim ~rng ~macs ~input_density;
-  Power.estimate m.design lib sim ~freq_hz ~vdd ()
+  Power.estimate m.design lib sim ~freq_hz ~vdd ?loads ()
 
 (** [evaluate lib spec cfg] builds and measures one candidate. *)
 let evaluate (lib : Library.t) (spec : Spec.t) (cfg : Macro_rtl.config) : t =
   let macro = Macro_rtl.build lib cfg in
   let budget = Spec.search_budget_ps spec lib.Library.node in
   let sized = Sizing.speed_up macro.design lib ~target_ps:budget in
-  let sta = Sta.analyze macro.design lib in
+  (* drives are final after sizing: one load map serves STA and power *)
+  let loads = Ir.fanout_loads macro.design lib () in
+  let sta = Sta.analyze ~loads macro.design lib in
   let stats = Stats.of_design macro.design lib in
   let power =
-    measure_power lib macro ~freq_hz:spec.Spec.mac_freq_hz ~vdd:spec.Spec.vdd
-      ~input_density:search_input_density
+    measure_power ~loads lib macro ~freq_hz:spec.Spec.mac_freq_hz
+      ~vdd:spec.Spec.vdd ~input_density:search_input_density
       ~weight_density:search_weight_density ~macs:search_macs
   in
   let wupd_ps =

@@ -1,0 +1,102 @@
+(** Memoizing design-point cache.
+
+    [Design_point.evaluate] is a pure function of the candidate
+    configuration and the spec's operating point, and the searcher's four
+    per-preference greedy walks plus the exploration lattice revisit the
+    same early configurations over and over — Algorithm 1 step 1 starts
+    every walk from the same initial config, and steps 2/3 retrace shared
+    prefixes. Caching on a canonical key makes every revisit free and is
+    safe to share across domains: shards are mutex-guarded, and entries
+    are deterministic, so a rare double-compute race is only wasted work.
+
+    The cache must not outlive mutation of its values: the compiler's ECO
+    loop resizes a design's instance drives in place, so cached points are
+    only handed to consumers that treat the netlist as frozen (the sweep
+    machinery). Scope a cache per sweep. *)
+
+type stats = { hits : int; misses : int }
+
+let shard_count = 16
+
+type t = {
+  shards : (string, Design_point.t) Hashtbl.t array;
+  locks : Mutex.t array;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create () =
+  {
+    shards = Array.init shard_count (fun _ -> Hashtbl.create 64);
+    locks = Array.init shard_count (fun _ -> Mutex.create ());
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+(* Canonical serialization of everything [Design_point.evaluate] reads:
+   every [Macro_rtl.config] field plus the spec's operating point (MAC and
+   weight-update frequency targets and VDD — the preference does not
+   influence an evaluation, which is exactly why walks under different
+   preferences can share entries). Floats print as %h so distinct
+   operating points can never collide. *)
+let key (spec : Spec.t) (cfg : Macro_rtl.config) : string =
+  let tree =
+    match cfg.Macro_rtl.tree with
+    | Adder_tree.Rca_tree -> "rca"
+    | Adder_tree.Csa { fa_ratio; reorder } ->
+        Printf.sprintf "csa:%h:%b" fa_ratio reorder
+  in
+  Printf.sprintf
+    "%dx%dx%d|i%s|w%s|cell%s|mul%s|tree%s|sa%s|split%d|rt%b|rca%b|rs%b|or%b|op%b|of%b|ap%d|ro%b|wc%b|f%h|wu%h|v%h"
+    cfg.Macro_rtl.rows cfg.Macro_rtl.cols cfg.Macro_rtl.mcr
+    (Precision.name cfg.Macro_rtl.input_prec)
+    (Precision.name cfg.Macro_rtl.weight_prec)
+    (Cell.kind_to_string (Cell.Sram cfg.Macro_rtl.cell_kind))
+    (Cell.kind_to_string (Cell.Mul cfg.Macro_rtl.mul_kind))
+    tree
+    (Shift_adder.kind_name cfg.Macro_rtl.sa_kind)
+    cfg.Macro_rtl.tree_split cfg.Macro_rtl.reg_after_tree
+    cfg.Macro_rtl.retime_final_rca cfg.Macro_rtl.reg_sa_to_ofu
+    cfg.Macro_rtl.ofu_retime cfg.Macro_rtl.ofu_extra_pipe
+    cfg.Macro_rtl.ofu_fast_adder cfg.Macro_rtl.align_pipeline
+    cfg.Macro_rtl.reg_output cfg.Macro_rtl.with_controller
+    spec.Spec.mac_freq_hz spec.Spec.weight_update_freq_hz spec.Spec.vdd
+
+let shard_of t k = Hashtbl.hash k mod Array.length t.shards
+
+(** [evaluate t lib spec cfg] — {!Design_point.evaluate} through the
+    cache. A hit returns the stored point itself (physical equality), so
+    overlapping walks share one evaluation. *)
+let evaluate (t : t) lib (spec : Spec.t) (cfg : Macro_rtl.config) :
+    Design_point.t =
+  let k = key spec cfg in
+  let s = shard_of t k in
+  let tbl = t.shards.(s) and lock = t.locks.(s) in
+  match Mutex.protect lock (fun () -> Hashtbl.find_opt tbl k) with
+  | Some p ->
+      Atomic.incr t.hits;
+      p
+  | None ->
+      let p = Design_point.evaluate lib spec cfg in
+      Atomic.incr t.misses;
+      Mutex.protect lock (fun () ->
+          (* keep the first stored point so later hits stay physically
+             equal to earlier ones even if two domains raced *)
+          match Hashtbl.find_opt tbl k with
+          | Some p' -> p'
+          | None ->
+              Hashtbl.add tbl k p;
+              p)
+
+let stats (t : t) =
+  { hits = Atomic.get t.hits; misses = Atomic.get t.misses }
+
+let size (t : t) =
+  Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.shards
+
+let describe (s : stats) =
+  let total = s.hits + s.misses in
+  Printf.sprintf "eval cache: %d hits / %d misses (%.0f %% hit rate)" s.hits
+    s.misses
+    (if total = 0 then 0.0
+     else 100.0 *. float_of_int s.hits /. float_of_int total)

@@ -94,11 +94,18 @@ let next_align_technique (cfg : Macro_rtl.config) =
         { cfg with align_pipeline = cfg.align_pipeline + 1 } )
   else None
 
+(* Evaluation entry point for every search step: through the shared
+   memoizing cache when one is given, direct otherwise. *)
+let evaluate_via ?cache lib spec cfg =
+  match cache with
+  | Some c -> Eval_cache.evaluate c lib spec cfg
+  | None -> Design_point.evaluate lib spec cfg
+
 (* Step 2: timing closure. Budget-limited to a dozen structural moves. *)
-let close_timing lib scl spec cfg0 =
+let close_timing ?cache lib scl spec cfg0 =
   let visited = ref [] in
   let eval cfg =
-    let p = Design_point.evaluate lib spec cfg in
+    let p = evaluate_via ?cache lib spec cfg in
     visited := p :: !visited;
     p
   in
@@ -127,10 +134,10 @@ let close_timing lib scl spec cfg0 =
   (p, applied, !visited)
 
 (* Step 3: remove pipeline registers while timing still closes. *)
-let recover_latency lib spec (p : Design_point.t) =
+let recover_latency ?cache lib spec (p : Design_point.t) =
   let visited = ref [] in
   let try_cfg tech (cur : Design_point.t) cfg =
-    let q = Design_point.evaluate lib spec cfg in
+    let q = evaluate_via ?cache lib spec cfg in
     visited := q :: !visited;
     if q.Design_point.meets_mac then (q, [ tech ]) else (cur, [])
   in
@@ -151,7 +158,7 @@ let recover_latency lib spec (p : Design_point.t) =
 
 (* Step 4: preference-oriented substitutions, kept while timing closes and
    the preferred objective improves. *)
-let fine_tune lib spec (p : Design_point.t) =
+let fine_tune ?cache lib spec (p : Design_point.t) =
   let visited = ref [] in
   let better (q : Design_point.t) (cur : Design_point.t) =
     match spec.Spec.preference with
@@ -162,7 +169,7 @@ let fine_tune lib spec (p : Design_point.t) =
         q.power_w *. q.area_um2 < cur.power_w *. cur.area_um2
   in
   let try_sub name (cur : Design_point.t) cfg =
-    let q = Design_point.evaluate lib spec cfg in
+    let q = evaluate_via ?cache lib spec cfg in
     visited := q :: !visited;
     if q.Design_point.meets_mac && better q cur then
       (q, [ Ft_substitute name ])
@@ -213,10 +220,13 @@ let fine_tune lib spec (p : Design_point.t) =
   in
   (p, applied, !visited)
 
-(** [search lib scl spec] runs the full Algorithm 1 pipeline. *)
-let search lib scl (spec : Spec.t) : result =
+(** [search ?cache lib scl spec] runs the full Algorithm 1 pipeline.
+    [cache] memoizes candidate evaluations, so overlapping walks (e.g.
+    the four preference searches of a Pareto sweep) evaluate each design
+    point once. *)
+let search ?cache lib scl (spec : Spec.t) : result =
   let cfg0 = Spec.initial_config spec in
-  let p1, a1, v1 = close_timing lib scl spec cfg0 in
+  let p1, a1, v1 = close_timing ?cache lib scl spec cfg0 in
   if not p1.Design_point.meets_mac then
     {
       spec;
@@ -226,8 +236,8 @@ let search lib scl (spec : Spec.t) : result =
       timing_closed = false;
     }
   else
-    let p2, a2, v2 = recover_latency lib spec p1 in
-    let p3, a3, v3 = fine_tune lib spec p2 in
+    let p2, a2, v2 = recover_latency ?cache lib spec p1 in
+    let p3, a3, v3 = fine_tune ?cache lib spec p2 in
     {
       spec;
       final = p3;
@@ -273,11 +283,20 @@ let exploration_lattice (spec : Spec.t) =
         sas)
     trees
 
-(** [pareto_sweep lib scl spec] runs the searcher under every PPA
-    preference, adds the exploration lattice, and returns the Pareto
+(** [pareto_sweep ?jobs ?cache lib scl spec] runs the searcher under every
+    PPA preference, adds the exploration lattice, and returns the Pareto
     frontier over (power, area) of all timing-meeting points plus the
-    full cloud — the paper's Fig. 8 series of design points. *)
-let pareto_sweep lib scl (spec : Spec.t) =
+    full cloud — the paper's Fig. 8 series of design points.
+
+    The four preference searches and the lattice evaluations are
+    independent pure computations, so they fan out over a domain pool
+    ([?jobs], default {!Pool.default_jobs}); a shared {!Eval_cache}
+    deduplicates the walks' overlapping prefixes. Results are bit-for-bit
+    identical for any job count: order is preserved by the pool and every
+    evaluation is deterministic. Pass [?cache] to observe hit/miss
+    statistics. *)
+let pareto_sweep ?jobs ?cache lib scl (spec : Spec.t) =
+  let cache = match cache with Some c -> c | None -> Eval_cache.create () in
   let prefs =
     [
       Spec.Prefer_power; Spec.Prefer_area; Spec.Prefer_performance;
@@ -285,14 +304,17 @@ let pareto_sweep lib scl (spec : Spec.t) =
     ]
   in
   let searched =
-    List.concat_map
+    Pool.parallel_map ?jobs
       (fun preference ->
-        let r = search lib scl { spec with preference } in
+        let r = search ~cache lib scl { spec with preference } in
         r.visited)
       prefs
+    |> List.concat
   in
   let explored =
-    List.map (Design_point.evaluate lib spec) (exploration_lattice spec)
+    Pool.parallel_map ?jobs
+      (Eval_cache.evaluate cache lib spec)
+      (exploration_lattice spec)
   in
   let all = searched @ explored in
   let meeting = List.filter (fun p -> p.Design_point.meets_mac) all in

@@ -22,37 +22,41 @@ let bump = function
     out. Mutates instance drives in place. *)
 let speed_up ?(max_rounds = 6) ?(wire_cap = fun (_ : Ir.net) -> 0.0)
     (d : Ir.design) (lib : Library.t) ~target_ps =
-  let analyze () = Sta.analyze ~wire_cap d lib in
-  let before = (analyze ()).crit_ps in
+  (* one load map and one STA per round, shared between the forward pass
+     and the slack pass; recomputed only after a round changed drives *)
+  let analyze () =
+    let loads = Ir.fanout_loads d lib ~wire_cap () in
+    (Sta.analyze ~wire_cap ~loads d lib, loads)
+  in
+  let r0, loads0 = analyze () in
+  let before = r0.Sta.crit_ps in
   let upsized = ref 0 in
-  let rec go round best =
-    if best <= target_ps || round >= max_rounds then best
+  let rec go round (r : Sta.report) loads =
+    if r.Sta.crit_ps <= target_ps || round >= max_rounds then r.Sta.crit_ps
     else begin
-      let r = analyze () in
-      if r.crit_ps <= target_ps then r.crit_ps
-      else begin
-        let slack = Sta.slacks r d lib ~wire_cap ~target_ps () in
-        let changed = ref false in
-        Array.iter
-          (fun (inst : Ir.inst) ->
-            if not (Cell.is_storage inst.kind) then
-              let violating =
-                Array.exists (fun net -> slack.(net) < -0.5) inst.outs
-              in
-              if violating then
-                match bump inst.drive with
-                | Some up ->
-                    inst.drive <- up;
-                    incr upsized;
-                    changed := true
-                | None -> ())
-          d.insts;
-        if not !changed then r.crit_ps
-        else go (round + 1) (analyze ()).crit_ps
-      end
+      let slack = Sta.slacks r d lib ~wire_cap ~loads ~target_ps () in
+      let changed = ref false in
+      Array.iter
+        (fun (inst : Ir.inst) ->
+          if not (Cell.is_storage inst.kind) then
+            let violating =
+              Array.exists (fun net -> slack.(net) < -0.5) inst.outs
+            in
+            if violating then
+              match bump inst.drive with
+              | Some up ->
+                  inst.drive <- up;
+                  incr upsized;
+                  changed := true
+              | None -> ())
+        d.insts;
+      if not !changed then r.Sta.crit_ps
+      else
+        let r', loads' = analyze () in
+        go (round + 1) r' loads'
     end
   in
-  let after = go 0 before in
+  let after = go 0 r0 loads0 in
   { before_ps = before; after_ps = after; upsized = !upsized }
 
 (** [relax d] returns every instance to X1 (minimum power/area), e.g.

@@ -24,9 +24,19 @@ type report = {
 (** [fmax_ghz r] converts the nominal critical path to a clock ceiling. *)
 let fmax_ghz r = if r.crit_ps <= 0.0 then infinity else 1000.0 /. r.crit_ps
 
+(** [analyze ?loads d lib] — [loads] is the per-net fanout-load map
+    ({!Ir.fanout_loads}); pass it to share one map across the forward
+    pass, {!slacks} and {!Power.estimate} instead of recomputing the
+    consumer folds in each. It must reflect the current instance drives
+    (recompute after sizing mutates them). *)
 let analyze ?(wire_cap = fun (_ : Ir.net) -> 0.0)
-    ?(input_arrival = fun (_ : string) -> 0.0) (d : Ir.design)
+    ?(input_arrival = fun (_ : string) -> 0.0) ?loads (d : Ir.design)
     (lib : Library.t) : report =
+  let loads =
+    match loads with
+    | Some l -> l
+    | None -> Ir.fanout_loads d lib ~wire_cap ()
+  in
   let arr = Array.make d.n_nets 0.0 in
   let pred = Array.make d.n_nets (-1) in
   (* predecessor net on the worst path *)
@@ -67,7 +77,7 @@ let analyze ?(wire_cap = fun (_ : Ir.net) -> 0.0)
       let in_arr = if Array.length inst.ins = 0 then 0.0 else !worst_arr in
       Array.iteri
         (fun o net ->
-          let load = Ir.fanout_load d lib ~wire_cap net in
+          let load = loads.(net) in
           let dly =
             Library.delay_ps lib ~kind:inst.kind ~drive:inst.drive ~out:o
               ~load_ff:load
@@ -133,7 +143,12 @@ let analyze ?(wire_cap = fun (_ : Ir.net) -> 0.0)
     which is what lets the sizing pass fix all parallel columns in one
     round. *)
 let slacks (r : report) (d : Ir.design) (lib : Library.t)
-    ?(wire_cap = fun (_ : Ir.net) -> 0.0) ~target_ps () =
+    ?(wire_cap = fun (_ : Ir.net) -> 0.0) ?loads ~target_ps () =
+  let loads =
+    match loads with
+    | Some l -> l
+    | None -> Ir.fanout_loads d lib ~wire_cap ()
+  in
   let req = Array.make d.n_nets infinity in
   let relax net v = if v < req.(net) then req.(net) <- v in
   Array.iter
@@ -152,7 +167,7 @@ let slacks (r : report) (d : Ir.design) (lib : Library.t)
     let worst_req = ref infinity in
     Array.iteri
       (fun o net ->
-        let load = Ir.fanout_load d lib ~wire_cap net in
+        let load = loads.(net) in
         let dly =
           Library.delay_ps lib ~kind:inst.kind ~drive:inst.drive ~out:o
             ~load_ff:load

@@ -1,0 +1,93 @@
+(** A fixed-size domain pool for data-parallel sweeps on OCaml 5.
+
+    Candidate evaluation in the searcher — and every figure/table sweep
+    built on it — is a pure function of its inputs, so the work-sharing
+    model is deliberately simple: a {!parallel_map} that carves the input
+    list over a fixed set of domains, preserves input order, propagates
+    the first exception, and degrades to a plain [List.map] when only one
+    job is requested (or available).
+
+    Job-count resolution, in priority order:
+    - the [?jobs] argument when given;
+    - the [SYNDCIM_JOBS] environment variable;
+    - [Domain.recommended_domain_count ()].
+
+    Nested calls (a [parallel_map] issued from inside a worker) run
+    sequentially in the calling worker, so composed sweeps — e.g. a
+    parallel figure grid whose points each run a parallel searcher —
+    never oversubscribe the machine or deadlock on domain exhaustion. *)
+
+let env_jobs () =
+  match Sys.getenv_opt "SYNDCIM_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some j
+      | Some _ | None -> None)
+
+(** [default_jobs ()] — the pool width used when [?jobs] is omitted. *)
+let default_jobs () =
+  match env_jobs () with
+  | Some j -> j
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+(* Set inside every worker (and in the caller while it participates), so
+   nested parallel_map calls detect they are already on a pool domain. *)
+let inside_pool : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* One shared counter hands out indices; results land by index, so output
+   order is input order no matter which domain computed what. The first
+   failure is kept (with its backtrace) and re-raised after the join; the
+   remaining workers drain quickly because they stop claiming work. *)
+let run_parallel ~jobs f (items : 'a array) : 'b array =
+  let n = Array.length items in
+  let results : 'b option array = Array.make n None in
+  let next = Atomic.make 0 in
+  let failure : (exn * Printexc.raw_backtrace) option Atomic.t =
+    Atomic.make None
+  in
+  let worker () =
+    Domain.DLS.set inside_pool true;
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && Atomic.get failure = None then begin
+        (try results.(i) <- Some (f items.(i))
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers =
+    Array.init (jobs - 1) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  Domain.DLS.set inside_pool false;
+  Array.iter Domain.join helpers;
+  match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None ->
+      Array.map
+        (function
+          | Some v -> v
+          | None -> invalid_arg "Pool.run_parallel: missing result")
+        results
+
+(** [parallel_map ?jobs f xs] maps [f] over [xs] on up to [jobs] domains.
+    Output order matches input order; the first exception raised by [f]
+    propagates to the caller. [jobs = 1] (or [SYNDCIM_JOBS=1], or a call
+    from inside another [parallel_map]) runs sequentially. *)
+let parallel_map ?jobs (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let n = List.length xs in
+  let jobs =
+    let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    min j n
+  in
+  if jobs <= 1 || n <= 1 || Domain.DLS.get inside_pool then List.map f xs
+  else Array.to_list (run_parallel ~jobs f (Array.of_list xs))
+
+(** [parallel_iter ?jobs f xs] — {!parallel_map} for effects only. *)
+let parallel_iter ?jobs f xs =
+  ignore (parallel_map ?jobs (fun x -> f x) xs)

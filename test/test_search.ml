@@ -143,6 +143,69 @@ let test_pareto_sweep () =
          not (List.exists (fun c -> Pareto.dominates (obj c) (obj f)) cloud))
        front)
 
+let test_pareto_sweep_parallel_deterministic () =
+  (* the parallel sweep must be bit-for-bit the sequential sweep:
+     evaluations are pure and the pool preserves order *)
+  let s = spec ~freq:800e6 () in
+  let f1, c1 = Searcher.pareto_sweep ~jobs:1 lib scl s in
+  let f4, c4 = Searcher.pareto_sweep ~jobs:4 lib scl s in
+  Alcotest.(check int) "frontier size" (List.length f1) (List.length f4);
+  Alcotest.(check int) "cloud size" (List.length c1) (List.length c4);
+  let same (a : Design_point.t) (b : Design_point.t) =
+    a.Design_point.cfg = b.Design_point.cfg
+    && a.Design_point.power_w = b.Design_point.power_w
+    && a.Design_point.area_um2 = b.Design_point.area_um2
+    && a.Design_point.crit_ps = b.Design_point.crit_ps
+  in
+  List.iter2
+    (fun a b -> check_bool "frontier point identical" true (same a b))
+    f1 f4;
+  List.iter2
+    (fun a b -> check_bool "cloud point identical" true (same a b))
+    c1 c4
+
+(* ---------------- evaluation cache ---------------- *)
+
+let test_cache_hit () =
+  let cache = Eval_cache.create () in
+  let s = spec ~freq:500e6 () in
+  let cfg = Spec.initial_config s in
+  let p1 = Eval_cache.evaluate cache lib s cfg in
+  let p2 = Eval_cache.evaluate cache lib s cfg in
+  check_bool "second evaluation is the stored point" true (p1 == p2);
+  let st = Eval_cache.stats cache in
+  Alcotest.(check int) "one miss" 1 st.Eval_cache.misses;
+  Alcotest.(check int) "one hit" 1 st.Eval_cache.hits;
+  Alcotest.(check int) "one entry" 1 (Eval_cache.size cache)
+
+let test_cache_distinct_operating_points () =
+  (* same config under different operating points must never alias *)
+  let s = spec ~freq:500e6 () in
+  let cfg = Spec.initial_config s in
+  let s_faster = { s with Spec.mac_freq_hz = 900e6 } in
+  let s_lower_vdd = { s with Spec.vdd = 0.7 } in
+  check_bool "freq in key" true
+    (Eval_cache.key s cfg <> Eval_cache.key s_faster cfg);
+  check_bool "vdd in key" true
+    (Eval_cache.key s cfg <> Eval_cache.key s_lower_vdd cfg);
+  let cache = Eval_cache.create () in
+  ignore (Eval_cache.evaluate cache lib s cfg);
+  ignore (Eval_cache.evaluate cache lib s_faster cfg);
+  ignore (Eval_cache.evaluate cache lib s_lower_vdd cfg);
+  let st = Eval_cache.stats cache in
+  Alcotest.(check int) "no spurious hits" 0 st.Eval_cache.hits;
+  Alcotest.(check int) "three misses" 3 st.Eval_cache.misses
+
+let test_cache_preference_shared () =
+  (* the preference steers the walk but not an evaluation, so walks under
+     different preferences share cache entries *)
+  let s = spec ~freq:500e6 ~pref:Spec.Prefer_power () in
+  let cfg = Spec.initial_config s in
+  Alcotest.(check string)
+    "preference not in key"
+    (Eval_cache.key s cfg)
+    (Eval_cache.key { s with Spec.preference = Spec.Prefer_area } cfg)
+
 let test_lattice_legality () =
   let cfgs = Searcher.exploration_lattice (spec ()) in
   check_bool "non-trivial lattice" true (List.length cfgs >= 8);
@@ -186,6 +249,16 @@ let () =
       ( "pareto",
         [
           Alcotest.test_case "sweep" `Slow test_pareto_sweep;
+          Alcotest.test_case "parallel determinism" `Slow
+            test_pareto_sweep_parallel_deterministic;
           Alcotest.test_case "lattice legality" `Quick test_lattice_legality;
+        ] );
+      ( "eval_cache",
+        [
+          Alcotest.test_case "hit returns stored point" `Quick test_cache_hit;
+          Alcotest.test_case "operating points never alias" `Quick
+            test_cache_distinct_operating_points;
+          Alcotest.test_case "preference shares entries" `Quick
+            test_cache_preference_shared;
         ] );
     ]

@@ -146,6 +146,43 @@ let test_rng_sparse () =
   let frac = float_of_int !zeros /. float_of_int n in
   check_bool "sparsity near 87.5%" true (frac > 0.82 && frac < 0.92)
 
+(* ---------------- Pool ---------------- *)
+
+let test_pool_ordering () =
+  let xs = List.init 100 (fun i -> i) in
+  let expected = List.map (fun i -> i * i) xs in
+  Alcotest.(check (list int))
+    "jobs=4 preserves input order" expected
+    (Pool.parallel_map ~jobs:4 (fun i -> i * i) xs);
+  Alcotest.(check (list int))
+    "jobs=1 sequential fallback" expected
+    (Pool.parallel_map ~jobs:1 (fun i -> i * i) xs)
+
+let test_pool_exception () =
+  Alcotest.check_raises "worker exception propagates" (Failure "boom")
+    (fun () ->
+      ignore
+        (Pool.parallel_map ~jobs:4
+           (fun i -> if i = 13 then failwith "boom" else i)
+           (List.init 50 (fun i -> i))))
+
+let test_pool_nested () =
+  (* a parallel_map inside a worker degrades to sequential, not deadlock *)
+  let outer =
+    Pool.parallel_map ~jobs:2
+      (fun i ->
+        Pool.parallel_map ~jobs:4 (fun j -> (i * 10) + j) [ 0; 1; 2 ])
+      [ 1; 2 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested result" [ [ 10; 11; 12 ]; [ 20; 21; 22 ] ] outer
+
+let test_pool_empty_and_single () =
+  Alcotest.(check (list int)) "empty" []
+    (Pool.parallel_map ~jobs:4 (fun i -> i) []);
+  Alcotest.(check (list int)) "singleton" [ 42 ]
+    (Pool.parallel_map ~jobs:4 (fun i -> i) [ 42 ])
+
 (* ---------------- Table ---------------- *)
 
 let test_table_render () =
@@ -191,6 +228,15 @@ let () =
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
           Alcotest.test_case "signed range" `Quick test_rng_signed_range;
           Alcotest.test_case "sparsity" `Quick test_rng_sparse;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "ordering" `Quick test_pool_ordering;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+          Alcotest.test_case "nested sequentializes" `Quick test_pool_nested;
+          Alcotest.test_case "empty/singleton" `Quick
+            test_pool_empty_and_single;
         ] );
       ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
       ("properties", qtests);
