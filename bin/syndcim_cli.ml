@@ -2,6 +2,8 @@
 
    syndcim compile  — spec to signed-off macro, with artifact export
    syndcim exp      — reproduce the paper's tables and figures
+   syndcim verify   — differential fuzz campaign, metamorphic properties,
+                      PPA snapshot regression
    syndcim library  — dump the synthetic cell library views (LIB / LEF) *)
 
 open Cmdliner
@@ -157,6 +159,88 @@ let exp_cmd =
   Cmd.v (Cmd.info "exp" ~doc:"Reproduce the paper's tables and figures")
     Term.(const run $ which $ quick $ jobs_arg)
 
+(* ---------------- verify ---------------- *)
+
+let verify_cmd =
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"Bounded CI smoke run: fixed seed, 200 fuzzed specs,                    injected-bug canary and snapshot diff. Overrides --seed.")
+  in
+  let seed =
+    Arg.(value & opt int 0xC1A0 & info [ "seed" ] ~doc:"Campaign seed.")
+  in
+  let specs =
+    Arg.(value & opt int 200
+         & info [ "specs" ] ~doc:"Number of fuzzed specifications.")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains for the campaign (default: the                    SYNDCIM_JOBS environment variable, then the number of                    cores).")
+  in
+  let update =
+    Arg.(value & flag
+         & info [ "update-snapshots" ]
+             ~doc:"Re-record the golden PPA snapshot instead of diffing                    against it.")
+  in
+  let snapdir =
+    Arg.(value & opt string (Filename.concat "test" "snapshots")
+         & info [ "snapshot-dir" ] ~doc:"Directory holding the PPA snapshot.")
+  in
+  let run smoke seed specs jobs update snapdir =
+    let seed, specs = if smoke then (0xC1A0, max 200 specs) else (seed, specs) in
+    let lib = Library.n40 () in
+    let scl = Scl.create lib in
+    (* stage 1: differential fuzz campaign + metamorphic properties *)
+    let r = Campaign.run ?jobs ~seed ~count:specs lib scl in
+    print_string (Campaign.describe r);
+    let campaign_ok = Campaign.clean r in
+    (* stage 2: canary — an injected retiming bug must be caught and
+       shrunk, proving the checker has teeth on this very build *)
+    let bug = Diffcheck.Retime_early_sample in
+    let canary = Campaign.run ?jobs ~bug ~seed ~count:8 lib scl in
+    let canary_ok = canary.Campaign.failures <> [] in
+    (match canary.Campaign.failures with
+    | f :: _ ->
+        Printf.printf "canary: injected %s caught and shrunk to [%s] in %d step(s)\n"
+          (Diffcheck.bug_name bug)
+          (Spec.describe f.Campaign.shrunk)
+          f.Campaign.shrink_steps
+    | [] ->
+        print_string
+          "canary: FAIL — injected retiming bug escaped the differential checker\n");
+    (* stage 3: golden PPA snapshot *)
+    let snap_ok =
+      if update then begin
+        Printf.printf "snapshot: recorded %s\n"
+          (Snapshot.update ?jobs ~dir:snapdir lib);
+        true
+      end
+      else
+        match Snapshot.check ?jobs ~dir:snapdir lib with
+        | Ok n ->
+            Printf.printf "snapshot: %d fingerprints match\n" n;
+            true
+        | Error report ->
+            Printf.printf "snapshot: FAIL\n%s\n" report;
+            false
+    in
+    if campaign_ok && canary_ok && snap_ok then begin
+      print_string "verify: PASS\n";
+      0
+    end
+    else begin
+      print_string "verify: FAIL\n";
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Differential fuzz campaign, metamorphic properties and golden \
+             PPA snapshot regression")
+    Term.(const run $ smoke $ seed $ specs $ jobs_arg $ update $ snapdir)
+
 (* ---------------- library ---------------- *)
 
 let library_cmd =
@@ -178,4 +262,6 @@ let library_cmd =
 let () =
   let doc = "SynDCIM: performance-aware digital computing-in-memory compiler" in
   let info = Cmd.info "syndcim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ compile_cmd; exp_cmd; library_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ compile_cmd; exp_cmd; verify_cmd; library_cmd ]))

@@ -3,13 +3,20 @@
 
     The searcher's retiming and fusion moves must never change what a
     macro computes; this checker drives both designs with the same random
-    input sequences and compares every output bus after every cycle window
-    — the light-weight formal-equivalence stand-in the test suite uses to
-    cross-check structurally different configurations of the same spec. *)
+    input sequences and compares every output bus on every cycle of a
+    hold window after both pipelines have drained — the light-weight
+    formal-equivalence stand-in the test suite uses to cross-check
+    structurally different configurations of the same spec. *)
 
 type verdict =
   | Equivalent of int  (** number of vectors checked *)
-  | Mismatch of { vector : int; bus : string; a : int; b : int }
+  | Mismatch of {
+      vector : int;
+      cycle : int;  (** cycles after the vector was applied *)
+      bus : string;
+      a : int;
+      b : int;
+    }
 
 let bus_names d = List.map fst d.Ir.src.Ir.outputs
 
@@ -20,20 +27,39 @@ let interfaces_match (a : Ir.design) (b : Ir.design) =
   in
   sig_of a = sig_of b
 
-(** [check ~seed ~vectors ~settle a b] drives both designs with identical
-    random inputs for [vectors] rounds of [settle] cycles each and
-    compares all outputs at the end of every round. Designs must have
-    identical input/output bus signatures. [settle] covers pipeline-depth
-    differences up to that many cycles — outputs are compared only after
-    both pipelines have drained on stable inputs. *)
-let check ?(seed = 0xE9) ?(vectors = 24) ?(settle = 8) (a : Ir.design)
-    (b : Ir.design) : verdict =
+(** [check ~seed ~vectors ~settle ~hold a b] drives both designs with
+    identical random inputs for [vectors] rounds of [settle + hold] cycles
+    each. Designs must have identical input/output bus signatures.
+    [settle] covers pipeline-depth differences up to that many cycles —
+    the drain window during which outputs are allowed to disagree while
+    the deeper pipeline catches up. After the drain, outputs are compared
+    on *every* cycle of the [hold] window (inputs stay stable), not only
+    once at the end of the round: a retiming bug that produces a
+    single-cycle glitch between sample points cannot slip through the
+    comparison grid. *)
+let check ?(seed = 0xE9) ?(vectors = 24) ?(settle = 8) ?(hold = 4)
+    (a : Ir.design) (b : Ir.design) : verdict =
   if not (interfaces_match a b) then
     invalid_arg "Equiv.check: interface mismatch";
+  if settle < 1 || hold < 0 then
+    invalid_arg "Equiv.check: settle must be >= 1 and hold >= 0";
   let rng = Rng.create seed in
   let sa = Sim.create a and sb = Sim.create b in
   let drive sim values =
     List.iter (fun (name, v) -> Sim.set_bus sim name v) values
+  in
+  let outputs = bus_names a in
+  (* compare all output buses with both simulators settled; [cycle] is the
+     age of the current vector when the mismatch was observed *)
+  let compare_at vector cycle =
+    Sim.eval sa;
+    Sim.eval sb;
+    List.find_map
+      (fun bus ->
+        let va = Sim.read_bus sa bus and vb = Sim.read_bus sb bus in
+        if va <> vb then Some (Mismatch { vector; cycle; bus; a = va; b = vb })
+        else None)
+      outputs
   in
   let rec rounds k =
     if k >= vectors then Equivalent vectors
@@ -46,22 +72,23 @@ let check ?(seed = 0xE9) ?(vectors = 24) ?(settle = 8) (a : Ir.design)
       in
       drive sa values;
       drive sb values;
+      (* drain: both pipelines absorb the new vector *)
       for _ = 1 to settle do
         Sim.step sa;
         Sim.step sb
       done;
-      Sim.eval sa;
-      Sim.eval sb;
-      let bad =
-        List.find_opt
-          (fun name -> Sim.read_bus sa name <> Sim.read_bus sb name)
-          (bus_names a)
+      (* hold: inputs stable, outputs must agree on every remaining cycle *)
+      let rec watch cycle =
+        if cycle > settle + hold then rounds (k + 1)
+        else
+          match compare_at k cycle with
+          | Some m -> m
+          | None ->
+              Sim.step sa;
+              Sim.step sb;
+              watch (cycle + 1)
       in
-      match bad with
-      | Some bus ->
-          Mismatch
-            { vector = k; bus; a = Sim.read_bus sa bus; b = Sim.read_bus sb bus }
-      | None -> rounds (k + 1)
+      watch settle
     end
   in
   rounds 0

@@ -1,0 +1,202 @@
+(** Differential checking of a compiled macro against {!Golden}.
+
+    The netlist is driven through complete MAC transactions — directed
+    corner vectors first ({!Corners}), dense random batches after — and
+    every word result (and the FP group exponent) is compared against the
+    behavioural model. This replaces the random-only equivalence pass as
+    the correctness core: the corners are exactly the inputs where a
+    broken sign cycle, a saturated carry chain or a mis-aligned FP group
+    diverge from random-vector behaviour.
+
+    The driver also supports *fault injection*: a {!bug} reproduces a
+    class of searcher-move defect (a retimed result register sampled one
+    cycle early; a dropped sign cycle) so the test suite can prove the
+    checker catches it and the shrinker reduces it. *)
+
+type bug =
+  | Retime_early_sample
+      (** read the result one cycle before the retimed pipeline commits *)
+  | Skip_sign_cycle  (** never assert [sa_neg]: the two's-complement bug *)
+
+let bug_name = function
+  | Retime_early_sample -> "retime-early-sample"
+  | Skip_sign_cycle -> "skip-sign-cycle"
+
+type failure = {
+  set_name : string;  (** which vector set diverged *)
+  word : int;  (** word index, or -1 for the FP group exponent *)
+  expected : int;
+  got : int;
+}
+
+type outcome = {
+  checks : int;  (** word/exponent comparisons performed *)
+  failure : failure option;  (** first divergence, if any *)
+}
+
+let describe_failure (f : failure) =
+  Printf.sprintf "%s: word %d expected %d, got %d" f.set_name f.word
+    f.expected f.got
+
+let is_fp (m : Macro_rtl.t) =
+  match m.Macro_rtl.cfg.Macro_rtl.input_prec with
+  | Precision.Fp _ -> true
+  | Precision.Int _ -> false
+
+(* One full MAC transaction, optionally with an injected fault. Mirrors
+   the sign-off schedule in {!Testbench.run_mac}; kept separate so a
+   fault never leaks into the production bench. *)
+let run_mac ?bug (m : Macro_rtl.t) sim ~(inputs : int array) =
+  let db = m.Macro_rtl.db in
+  Testbench.present_inputs m sim inputs;
+  Testbench.set_controls sim ~load:false ~sa_en:false ~sa_clr:false
+    ~sa_neg:false;
+  if is_fp m then Sim.set_bus sim "align_en" 1;
+  for _ = 1 to m.Macro_rtl.align_lat do
+    Sim.step sim
+  done;
+  if is_fp m then Sim.set_bus sim "align_en" 0;
+  Testbench.set_controls sim ~load:true ~sa_en:false ~sa_clr:false
+    ~sa_neg:false;
+  Sim.step sim;
+  let last = m.Macro_rtl.tree_lat + db - 1 in
+  for k = 0 to last do
+    let first = k = m.Macro_rtl.tree_lat in
+    let sign_cycle =
+      if m.Macro_rtl.neg_on_last then k = last else first
+    in
+    let sa_neg =
+      sign_cycle && db > 1 && bug <> Some Skip_sign_cycle
+    in
+    Testbench.set_controls sim ~load:false
+      ~sa_en:(k >= m.Macro_rtl.tree_lat)
+      ~sa_clr:first ~sa_neg;
+    Sim.step sim
+  done;
+  Testbench.set_controls sim ~load:false ~sa_en:false ~sa_clr:false
+    ~sa_neg:false;
+  let post =
+    match bug with
+    | Some Retime_early_sample -> max 0 (m.Macro_rtl.post_lat - 1)
+    | _ -> m.Macro_rtl.post_lat
+  in
+  for _ = 1 to post do
+    Sim.step sim
+  done;
+  Sim.eval sim;
+  Array.init m.Macro_rtl.words (fun g ->
+      Sim.read_bus_signed sim (Printf.sprintf "result%d" g))
+
+(* Expected datapath values of the raw inputs (identity for INT, aligner
+   for FP) plus the expected group exponent. *)
+let datapath_view (m : Macro_rtl.t) inputs =
+  match m.Macro_rtl.cfg.Macro_rtl.input_prec with
+  | Precision.Int _ -> (inputs, None)
+  | Precision.Fp fmt ->
+      let a = Align.align fmt inputs in
+      (a.Align.values, Some a.Align.group_exp)
+
+(* Run one vector set with the given weights already loaded; first
+   divergence wins. *)
+let check_set ?bug (m : Macro_rtl.t) sim (set : Corners.vector_set) :
+    int * failure option =
+  let results = run_mac ?bug m sim ~inputs:set.Corners.inputs in
+  let xs, exp_expected = datapath_view m set.Corners.inputs in
+  let checks = ref 0 in
+  let fail = ref None in
+  (match exp_expected with
+  | Some e ->
+      incr checks;
+      let got = Sim.read_bus sim "group_exp" in
+      if got <> e then
+        fail :=
+          Some
+            {
+              set_name = set.Corners.name ^ " (group exponent)";
+              word = -1;
+              expected = e;
+              got;
+            }
+  | None -> ());
+  Array.iteri
+    (fun g got ->
+      if !fail = None then begin
+        incr checks;
+        let expected =
+          Golden.dot ~weights:set.Corners.weights.(g) ~inputs:xs
+        in
+        if got <> expected then
+          fail :=
+            Some { set_name = set.Corners.name; word = g; expected; got }
+      end)
+    results;
+  (!checks, !fail)
+
+(* rotate rows so each weight copy stores a distinguishable pattern *)
+let rotate_rows (weights : int array array) =
+  Array.map
+    (fun per_row ->
+      let n = Array.length per_row in
+      Array.init n (fun r -> per_row.((r + 1) mod n)))
+    weights
+
+(** [check_macro ?bug ~seed ~random_batches m] — drive a built macro
+    through every directed corner set plus [random_batches] random sets,
+    comparing every transaction against {!Golden}. With MCR > 1 each set
+    is additionally checked on the last weight copy (with row-rotated
+    weights), covering the copy-select mux. *)
+let check_macro ?bug ~seed ~random_batches (m : Macro_rtl.t) : outcome =
+  let sim = Sim.create m.Macro_rtl.design in
+  let mcr = m.Macro_rtl.cfg.Macro_rtl.mcr in
+  if mcr > 1 then Sim.set_bus sim "copy_sel" 0;
+  let rng = Rng.create seed in
+  let sets =
+    Corners.sets m @ Corners.random_sets rng m ~batches:random_batches
+  in
+  let checks = ref 0 in
+  let run_on ~copy set =
+    let weights =
+      if copy = 0 then set.Corners.weights
+      else rotate_rows set.Corners.weights
+    in
+    Testbench.load_weights m sim ~copy weights;
+    if mcr > 1 then Sim.set_bus sim "copy_sel" copy;
+    let c, f = check_set ?bug m sim { set with Corners.weights } in
+    checks := !checks + c;
+    f
+  in
+  let rec loop = function
+    | [] -> { checks = !checks; failure = None }
+    | set :: rest -> (
+        match run_on ~copy:0 set with
+        | Some f -> { checks = !checks; failure = Some f }
+        | None ->
+            if mcr > 1 then
+              match run_on ~copy:(mcr - 1) set with
+              | Some f ->
+                  {
+                    checks = !checks;
+                    failure =
+                      Some
+                        {
+                          f with
+                          set_name =
+                            Printf.sprintf "%s@copy%d" f.set_name (mcr - 1);
+                        };
+                  }
+              | None -> loop rest
+            else loop rest)
+  in
+  loop sets
+
+(** [check_spec ?bug ?random_batches ~seed lib spec] — compile the spec's
+    initial configuration and check it differentially. This is the unit
+    of work a fuzz campaign fans out over the pool. *)
+let check_spec ?bug ?(random_batches = 2) ~seed lib (spec : Spec.t) :
+    outcome =
+  let m = Macro_rtl.build lib (Spec.initial_config spec) in
+  check_macro ?bug ~seed ~random_batches m
+
+(** [fails ?bug ~seed lib spec] — predicate form for the shrinker. *)
+let fails ?bug ~seed lib spec =
+  (check_spec ?bug ~seed lib spec).failure <> None

@@ -216,6 +216,83 @@ let prop_bit_serial =
       Golden.bit_serial_mac ~input_bits:ib ~weight_bits:wb ~weights ~inputs
       = Golden.dot ~weights ~inputs)
 
+(* ---------------- directed corners ---------------- *)
+
+let test_int_min_negation () =
+  (* INT_MIN has no positive counterpart: the sign cycle subtracts the
+     largest partial sum and the sign column subtracts the largest column
+     accumulation, so an all-INT_MIN array exercises both negations at
+     their extreme simultaneously *)
+  let rows = 16 in
+  List.iter
+    (fun w ->
+      let m = -Intmath.pow2 (w - 1) in
+      let weights = Array.make rows m and inputs = Array.make rows m in
+      check_int
+        (Printf.sprintf "all-INT_MIN %d-bit" w)
+        (rows * m * m)
+        (Golden.bit_serial_mac ~input_bits:w ~weight_bits:w ~weights ~inputs))
+    [ 2; 4; 8 ];
+  (* maximal popcount on every serial cycle: the sign cycle dominates the
+     positive cycles by exactly one grid unit per row *)
+  let sums = Array.make 8 rows in
+  check_int "saturated sign cycle" (-rows)
+    (Golden.shift_accumulate ~input_bits:8 sums)
+
+let test_asr_sign_extension_at_max_width () =
+  (* input_bit relies on asr replicating the sign all the way up the
+     native word; check at the top of the 63-bit range *)
+  check_bool "-1 bit 62" true (Golden.input_bit (-1) 62);
+  check_bool "min_int bit 62" true (Golden.input_bit min_int 62);
+  check_bool "min_int bit 61" false (Golden.input_bit min_int 61);
+  check_bool "0 bit 62" false (Golden.input_bit 0 62);
+  (* sign_extend at the widest supported width *)
+  check_int "most negative 61-bit value"
+    (-Intmath.pow2 60)
+    (Intmath.sign_extend ~width:61 (Intmath.pow2 60));
+  check_int "largest positive 61-bit value"
+    (Intmath.pow2 60 - 1)
+    (Intmath.sign_extend ~width:61 (Intmath.pow2 60 - 1));
+  check_int "all-ones is -1" (-1)
+    (Intmath.sign_extend ~width:61 (Intmath.pow2 61 - 1))
+
+let test_fp_overflow_alignment () =
+  (* every row at the format's largest finite value: the aligner's
+     zero-shift, maximal-mantissa case feeding a full-carry dot product *)
+  let f = Fpfmt.fp8 in
+  let emax = Intmath.pow2 f.Fpfmt.exp_bits - 1 in
+  let max_v =
+    Fpfmt.pack f ~sign:false ~exp:emax ~man:(Intmath.pow2 f.Fpfmt.man_bits - 1)
+  in
+  let xs = Array.make 8 max_v in
+  let a = Align.align f xs in
+  check_int "group exponent saturates" emax a.Align.group_exp;
+  Array.iter
+    (fun v -> check_int "max mantissa on the guard grid" (15 lsl f.Fpfmt.guard) v)
+    a.Align.values;
+  let weights = Array.make 8 127 in
+  let got, gexp = Golden.fp_mac f ~weight_bits:8 ~weights ~fp_inputs:xs in
+  check_int "fp_mac exponent" a.Align.group_exp gexp;
+  check_int "fp_mac value" (Golden.dot ~weights ~inputs:a.Align.values) got
+
+let test_fp_denormal_and_signed_zero () =
+  let f = Fpfmt.fp8 in
+  (* a subnormal-only group sits at the minimum exponent, unflushed, with
+     its sign intact *)
+  let denorm = Fpfmt.pack f ~sign:true ~exp:0 ~man:7 in
+  let a = Align.align f [| denorm |] in
+  check_int "denorm-only group exponent" 1 a.Align.group_exp;
+  check_int "negative subnormal survives"
+    (-(7 lsl f.Fpfmt.guard))
+    a.Align.values.(0);
+  (* signed zero: -0 must align to exactly 0 and contribute nothing *)
+  let nz = Fpfmt.pack f ~sign:true ~exp:0 ~man:0 in
+  let one = Fpfmt.pack f ~sign:false ~exp:(Fpfmt.bias f) ~man:0 in
+  let a = Align.align f [| nz; one |] in
+  check_int "-0 aligns to 0" 0 a.Align.values.(0);
+  check_int "dot ignores -0" a.Align.values.(1)
+    (Golden.dot ~weights:[| 127; 1 |] ~inputs:a.Align.values)
+
 (* ---------------- Precision ---------------- *)
 
 let test_precision_descriptors () =
@@ -264,6 +341,16 @@ let () =
           Alcotest.test_case "fuse columns" `Quick test_fuse_columns;
           Alcotest.test_case "FP MAC" `Quick test_fp_mac_matches_reference;
           Alcotest.test_case "result width" `Quick test_result_width;
+        ] );
+      ( "corners",
+        [
+          Alcotest.test_case "INT_MIN negation" `Quick test_int_min_negation;
+          Alcotest.test_case "asr sign extension" `Quick
+            test_asr_sign_extension_at_max_width;
+          Alcotest.test_case "FP overflow alignment" `Quick
+            test_fp_overflow_alignment;
+          Alcotest.test_case "FP denormal + signed zero" `Quick
+            test_fp_denormal_and_signed_zero;
         ] );
       ( "precision",
         [ Alcotest.test_case "descriptors" `Quick test_precision_descriptors ]
