@@ -62,7 +62,23 @@ let compile_cmd =
          & info [ "scl-cache" ]
              ~doc:"CSV file for the characterized subcircuit-library LUT;                    loaded if present, saved after the run.")
   in
-  let run rows cols mcr iprec wprec freq wupd vdd prefer out cache =
+  let trace_flag =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Print the per-stage instrumentation table: wall-clock,                    cells touched, critical path in/out, evaluation-cache                    hits/misses, ECO iterations and retry boosts.")
+  in
+  let dump_stage =
+    Arg.(value & opt (some (pair ~sep:':' string string)) None
+         & info [ "dump-stage" ] ~docv:"STAGE:DIR"
+             ~doc:"Serialize a stage artifact into DIR: netlist + search                    summary (search), verification summary (signoff_verify),                    floorplan DEF + STA/ECO summary (backend), power                    breakdown (power), or the metric record (metrics).")
+  in
+  let inject =
+    Arg.(value & opt (some string) None
+         & info [ "inject-fail" ] ~docv:"STAGE"
+             ~doc:"Force the named pipeline stage to fail with a                    diagnostic (failure-path test hook).")
+  in
+  let run rows cols mcr iprec wprec freq wupd vdd prefer out cache
+      trace_on dump inject =
     let lib = Library.n40 () in
     let scl = Scl.create lib in
     (match cache with
@@ -81,36 +97,74 @@ let compile_cmd =
         preference = prefer;
       }
     in
-    let a = Compiler.compile lib scl spec in
-    print_string (Report.to_string lib a);
-    (match out with
-    | None -> ()
-    | Some dir ->
-        (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-        Verilog.write_file (Filename.concat dir "netlist.v")
-          a.Compiler.macro.Macro_rtl.design;
-        Def_writer.write_file lib (Filename.concat dir "placement.def")
-          a.Compiler.signoff.Post_layout.placement;
-        let dump name text =
-          let oc = open_out (Filename.concat dir name) in
-          output_string oc text;
-          close_out oc
+    let trace =
+      if trace_on || dump <> None then Some (Trace.create ()) else None
+    in
+    let result = Pipeline.run ?trace ?inject lib scl spec in
+    let save_cache () =
+      match cache with
+      | Some path ->
+          Persist.save scl path;
+          Printf.printf "subcircuit LUT (%d entries) saved to %s\n"
+            (Persist.entries scl) path
+      | None -> ()
+    in
+    let print_trace () =
+      match trace with
+      | Some t when trace_on ->
+          print_endline "pipeline trace:";
+          print_string (Trace.render t)
+      | _ -> ()
+    in
+    match result with
+    | Error d ->
+        (* the structured diagnostic is the report: stage, spec context,
+           message, payload — and a non-zero exit, never a backtrace *)
+        print_endline (Diag.to_string d);
+        print_trace ();
+        save_cache ();
+        1
+    | Ok r ->
+        let a = r.Pipeline.artifact in
+        print_string (Report.to_string lib a);
+        print_trace ();
+        (match out with
+        | None -> ()
+        | Some dir ->
+            (try Unix.mkdir dir 0o755
+             with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            Verilog.write_file (Filename.concat dir "netlist.v")
+              a.Pipeline.macro.Macro_rtl.design;
+            Def_writer.write_file lib (Filename.concat dir "placement.def")
+              a.Pipeline.signoff.Post_layout.placement;
+            let dump_file name text =
+              let oc = open_out (Filename.concat dir name) in
+              output_string oc text;
+              close_out oc
+            in
+            dump_file "macro.lib" (Liberty.lib_text lib);
+            dump_file "macro.lef" (Liberty.lef_text lib);
+            dump_file "report.txt" (Report.to_string lib a);
+            Printf.printf "artifacts written to %s/\n" dir);
+        let dump_ok =
+          match dump with
+          | None -> true
+          | Some (name, dir) -> (
+              match Pipeline.dump_stage lib r ~name ~dir with
+              | Ok files ->
+                  Printf.printf "stage %s dumped to %s/ (%s)\n" name dir
+                    (String.concat ", " files);
+                  true
+              | Error d ->
+                  print_endline (Diag.to_string d);
+                  false)
         in
-        dump "macro.lib" (Liberty.lib_text lib);
-        dump "macro.lef" (Liberty.lef_text lib);
-        dump "report.txt" (Report.to_string lib a);
-        Printf.printf "artifacts written to %s/\n" dir);
-    (match cache with
-    | Some path ->
-        Persist.save scl path;
-        Printf.printf "subcircuit LUT (%d entries) saved to %s\n"
-          (Persist.entries scl) path
-    | None -> ());
-    if a.Compiler.timing_closed then 0 else 1
+        save_cache ();
+        if a.Pipeline.timing_closed && dump_ok then 0 else 1
   in
   let term =
     Term.(const run $ rows $ cols $ mcr $ iprec $ wprec $ freq $ wupd $ vdd
-          $ prefer $ out $ cache)
+          $ prefer $ out $ cache $ trace_flag $ dump_stage $ inject)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a DCIM macro from a specification")
     term
@@ -142,7 +196,7 @@ let exp_cmd =
     end;
     if want "fig8" then Fig8.print (Fig8.run ?jobs lib scl);
     if want "fig9" then begin
-      let a = Compiler.compile lib scl Spec.fig8 in
+      let a = Pipeline.artifact_exn (Pipeline.run lib scl Spec.fig8) in
       Fig9.print (Fig9.run ?jobs lib a)
     end;
     if want "table2" then Table2.print ?jobs (Table2.measure lib scl);
@@ -195,6 +249,9 @@ let verify_cmd =
     (* stage 1: differential fuzz campaign + metamorphic properties *)
     let r = Campaign.run ?jobs ~seed ~count:specs lib scl in
     print_string (Campaign.describe r);
+    List.iter
+      (fun d -> print_endline (Diag.to_string d))
+      (Campaign.diagnostics r);
     let campaign_ok = Campaign.clean r in
     (* stage 2: canary — an injected retiming bug must be caught and
        shrunk, proving the checker has teeth on this very build *)
@@ -218,12 +275,12 @@ let verify_cmd =
         true
       end
       else
-        match Snapshot.check ?jobs ~dir:snapdir lib with
+        match Snapshot.check_diag ?jobs ~dir:snapdir lib with
         | Ok n ->
             Printf.printf "snapshot: %d fingerprints match\n" n;
             true
-        | Error report ->
-            Printf.printf "snapshot: FAIL\n%s\n" report;
+        | Error d ->
+            Printf.printf "snapshot: FAIL\n%s\n" (Diag.to_string d);
             false
     in
     if campaign_ok && canary_ok && snap_ok then begin

@@ -1,20 +1,15 @@
-(** SynDCIM's end-to-end compilation pipeline (paper Fig. 2): from a user
+(** SynDCIM's end-to-end compilation entry point: from a user
     specification to a signed-off macro with measured PPA.
 
-    Stages:
-    1. the multi-spec-oriented searcher picks the subcircuit configuration
-       and pipeline structure (Algorithm 1);
-    2. functional sign-off: the generated netlist is simulated against the
-       golden MAC over randomized batches — the compiler refuses to emit a
-       macro that miscomputes;
-    3. back-end: SDP placement, routing estimate, wire-aware timing
-       re-closure (an ECO sizing pass), re-placement, DRC and LVS;
-    4. post-layout power at the spec's operating point.
+    The flow itself lives in {!Pipeline} as five typed stages (paper
+    Fig. 2): search → signoff_verify → backend (with the recorded ECO
+    re-closure loop) → power → metrics, with the retry-on-routing-miss
+    loop as explicit policy. This module is the thin compatibility
+    wrapper that keeps the original exception-typed [compile] signature;
+    new callers should use {!Pipeline.run} and handle the
+    [('a, Diag.t) result] directly. *)
 
-    The result carries every intermediate artifact so reports, experiments
-    and the CLI can drill in. *)
-
-type metrics = {
+type metrics = Pipeline.metrics = {
   crit_ps : float;  (** post-layout, nominal voltage *)
   fmax_ghz : float;  (** at the spec's operating voltage *)
   power_w : float;  (** post-layout, at the spec operating point *)
@@ -25,7 +20,7 @@ type metrics = {
   ops_norm : float;  (** 1b x 1b ops per native MAC, for normalization *)
 }
 
-type artifact = {
+type artifact = Pipeline.artifact = {
   spec : Spec.t;
   search : Searcher.result;
   macro : Macro_rtl.t;
@@ -37,103 +32,22 @@ type artifact = {
 
 exception Verification_failed of string
 
-(** Workload assumptions for the reported power: the paper's measurement
-    conditions (12.5 % input sparsity, 50 % weight sparsity). *)
-let report_input_density = 0.125
+let report_input_density = Pipeline.report_input_density
+let report_weight_density = Pipeline.report_weight_density
+let report_macs = Pipeline.report_macs
+let verify_batches = Pipeline.verify_batches
+let compute_metrics = Pipeline.compute_metrics
 
-let report_weight_density = 0.5
-let report_macs = 8
-
-let verify_batches = 2
-
-let compute_metrics (spec : Spec.t) (m : Macro_rtl.t)
-    (signoff : Post_layout.t) (power : Power.report) node =
-  let crit_ps = signoff.Post_layout.sta.Sta.crit_ps in
-  let fmax_hz =
-    Voltage.fmax node ~crit_path_ps:crit_ps ~vdd:spec.Spec.vdd
-  in
-  let tops =
-    Design_point.throughput_tops m ~freq_hz:spec.Spec.mac_freq_hz
-  in
-  let area_mm2 = signoff.Post_layout.area_mm2 in
-  let ops_norm =
-    float_of_int (m.Macro_rtl.db * m.Macro_rtl.wb)
-  in
-  {
-    crit_ps;
-    fmax_ghz = fmax_hz /. 1e9;
-    power_w = power.Power.total_w;
-    area_mm2;
-    tops;
-    tops_per_w = tops /. power.Power.total_w;
-    tops_per_mm2 = tops /. area_mm2;
-    ops_norm;
-  }
-
-(** [compile lib scl spec] runs the whole flow. Raises
+(** [compile lib scl spec] runs the whole staged pipeline. Raises
     {!Verification_failed} if the generated netlist ever disagrees with
-    the golden model. With [retry] (default), a post-layout miss re-runs
-    the search against a tightened internal clock (up to ~1.2x). *)
-let rec compile ?(style = Floorplan.Sdp) ?(verify = true) ?(retry = true)
+    the golden model, {!Diag.Failed} on any other stage diagnostic. With
+    [retry] (default), a post-layout miss re-runs the search against a
+    tightened internal clock (up to ~1.2x). *)
+let compile ?(style = Floorplan.Sdp) ?(verify = true) ?(retry = true)
     (lib : Library.t) scl (spec : Spec.t) : artifact =
-  compile_attempt ~style ~verify ~retry ~boost:1.0 lib scl spec
-
-(* One search + back-end pass; [boost] tightens the frequency the searcher
-   aims for without changing the spec the result is reported against —
-   the retry path when routed wires eat more than the standard derate. *)
-and compile_attempt ~style ~verify ~retry ~boost lib scl (spec : Spec.t) :
-    artifact =
-  let search_spec =
-    { spec with Spec.mac_freq_hz = spec.Spec.mac_freq_hz *. boost }
-  in
-  let search = Searcher.search lib scl search_spec in
-  let macro = search.Searcher.final.Design_point.macro in
-  if verify then begin
-    try Testbench.verify macro ~seed:0xACC ~batches:verify_batches
-    with Testbench.Mismatch { word; expected; got; detail } ->
-      raise
-        (Verification_failed
-           (Printf.sprintf "word %d %s: expected %d, got %d" word detail
-              expected got))
-  end;
-  (* back-end: alternate placement/extraction with wire-aware ECO sizing
-     until the post-route timing stops improving (sizing only ever
-     upsizes, so the loop is monotone) *)
-  let budget = Spec.nominal_budget_ps spec lib.Library.node in
-  let design = macro.Macro_rtl.design in
-  let rec eco_loop iter pass =
-    let crit = pass.Post_layout.sta.Sta.crit_ps in
-    if crit <= budget || iter >= 3 then pass
-    else begin
-      let snap = Sizing.snapshot design in
-      let wire_cap =
-        Route.wire_cap_fn pass.Post_layout.routing lib.Library.node
-      in
-      ignore (Sizing.speed_up ~wire_cap design lib ~target_ps:budget);
-      let next = Post_layout.run lib macro ~style in
-      if next.Post_layout.sta.Sta.crit_ps >= crit -. 1.0 then begin
-        (* the resize did not help once re-placed: roll back *)
-        Sizing.restore design snap;
-        Post_layout.run lib macro ~style
-      end
-      else eco_loop (iter + 1) next
-    end
-  in
-  let signoff = eco_loop 0 (Post_layout.run lib macro ~style) in
-  let power =
-    Post_layout.power lib macro signoff ~freq_hz:spec.Spec.mac_freq_hz
-      ~vdd:spec.Spec.vdd ~input_density:report_input_density
-      ~weight_density:report_weight_density ~macs:report_macs
-  in
-  let metrics = compute_metrics spec macro signoff power lib.Library.node in
-  let timing_closed =
-    metrics.fmax_ghz *. 1e9 >= spec.Spec.mac_freq_hz *. 0.999
-  in
-  if (not timing_closed) && retry && boost < 1.2
-     && search.Searcher.timing_closed
-  then
-    (* the searcher met its pre-layout budget but routing ate the margin:
-       search again against a tighter internal clock *)
-    compile_attempt ~style ~verify ~retry ~boost:(boost *. 1.12) lib scl
-      spec
-  else { spec; search; macro; signoff; power; metrics; timing_closed }
+  let policy = { Pipeline.default_policy with Pipeline.verify; retry } in
+  match Pipeline.run ~style ~policy lib scl spec with
+  | Ok r -> r.Pipeline.artifact
+  | Error d when Diag.stage d = Pipeline.stage_verify ->
+      raise (Verification_failed (Diag.message d))
+  | Error d -> raise (Diag.Failed d)

@@ -1,0 +1,102 @@
+(** Structured diagnostics for the compilation pipeline.
+
+    Every stage failure — a verification mismatch, a sign-off DRC/LVS
+    violation, a bench protocol error, an invalid specification — is
+    carried as a value of {!t} instead of an escaping exception: severity,
+    the pipeline stage that produced it, the spec being compiled, a
+    human-readable message and a structured key/value payload. The CLI
+    renders diagnostics as one-line reports and exits non-zero; the verify
+    subsystem asserts on them; tests match on stage and payload instead of
+    exception constructors.
+
+    {!guard} is the bridge from the exception world: it runs a thunk and
+    converts the known library escapes ({!Testbench.Mismatch},
+    {!Testbench.Bench_error}, {!Post_layout.Signoff_failed}, and the
+    residual [Failure]/[Invalid_argument] sites on library hot paths) into
+    [Error diag] with the spec context attached. *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  severity : severity;
+  stage : string;  (** pipeline stage (or subsystem) that raised it *)
+  context : string option;  (** the spec being compiled, described *)
+  message : string;
+  payload : (string * string) list;  (** structured key/value detail *)
+}
+
+(** Raised by compatibility wrappers that must surface a diagnostic
+    through an exception-typed interface. *)
+exception Failed of t
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let make ?(severity = Error) ~stage ?spec ?(payload = []) message =
+  { severity; stage; context = Option.map Spec.describe spec; message; payload }
+
+let error ~stage ?spec ?payload message =
+  make ~severity:Error ~stage ?spec ?payload message
+
+let warning ~stage ?spec ?payload message =
+  make ~severity:Warning ~stage ?spec ?payload message
+
+let info ~stage ?spec ?payload message =
+  make ~severity:Info ~stage ?spec ?payload message
+
+let stage (d : t) = d.stage
+let message (d : t) = d.message
+let is_error (d : t) = d.severity = Error
+
+(** [to_string d] — the one-line report the CLI prints:
+    [error\[stage\] {spec}: message (k=v, ...)]. *)
+let to_string (d : t) =
+  let ctx =
+    match d.context with
+    | None -> ""
+    | Some c -> Printf.sprintf " {%s}" c
+  in
+  let payload =
+    match d.payload with
+    | [] -> ""
+    | kvs ->
+        Printf.sprintf " (%s)"
+          (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs))
+  in
+  Printf.sprintf "%s[%s]%s: %s%s"
+    (severity_name d.severity)
+    d.stage ctx d.message payload
+
+(** [guard ~stage ?spec f] — run [f ()], converting the known library
+    escapes into [Error diag]. Unknown exceptions still propagate: a bug
+    in the compiler itself should crash loudly, not masquerade as a
+    diagnosable input problem. *)
+let guard ~stage ?spec (f : unit -> 'a) : ('a, t) Stdlib.result =
+  try Ok (f ()) with
+  | Testbench.Mismatch { word; expected; got; detail } ->
+      Error
+        (make ~stage ?spec
+           ~payload:
+             [
+               ("word", string_of_int word);
+               ("expected", string_of_int expected);
+               ("got", string_of_int got);
+               ("detail", detail);
+             ]
+           (Printf.sprintf "word %d %s: expected %d, got %d" word detail
+              expected got))
+  | Testbench.Bench_error { op; detail } ->
+      Error
+        (make ~stage ?spec ~payload:[ ("op", op) ]
+           (Printf.sprintf "%s: %s" op detail))
+  | Post_layout.Signoff_failed msg ->
+      Error (make ~stage ?spec ~payload:[ ("exn", "Signoff_failed") ] msg)
+  | Failure msg ->
+      Error (make ~stage ?spec ~payload:[ ("exn", "Failure") ] msg)
+  | Invalid_argument msg ->
+      Error (make ~stage ?spec ~payload:[ ("exn", "Invalid_argument") ] msg)
+
+(** Result plumbing for pipeline code. *)
+let ( let* ) = Stdlib.Result.bind

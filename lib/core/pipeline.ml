@@ -1,0 +1,620 @@
+(** The staged compilation pipeline (paper Fig. 2), as composable passes.
+
+    The flow is five typed stages threaded by {!run}:
+
+    {v
+      Spec.t --search--> search_art --signoff_verify--> search_art
+             --backend--> backend_art --power--> Power.report
+             --metrics--> verdict
+    v}
+
+    1. [search]: the multi-spec-oriented searcher picks the subcircuit
+       configuration and pipeline structure (Algorithm 1), evaluating
+       candidates through a per-attempt memoizing {!Eval_cache};
+    2. [signoff_verify]: functional sign-off — the generated netlist is
+       simulated against the golden MAC over randomized batches; the
+       compiler refuses to emit a macro that miscomputes;
+    3. [backend]: SDP placement, routing estimate, wire-aware timing
+       re-closure (the ECO sizing loop, every iteration recorded), DRC
+       and LVS;
+    4. [power]: post-layout power at the spec's operating point;
+    5. [metrics]: the reported PPA, the timing verdict, and the explicit
+       retry policy — a post-layout miss whose search closed pre-layout
+       re-runs the whole pipeline against a tightened internal clock.
+
+    Each stage returns [('a, Diag.t) result]; nothing inside the pipeline
+    escapes by exception. Every stage execution appends an instrumented
+    {!Trace} row (wall-clock, cells touched, crit in/out, cache hit/miss,
+    ECO iterations, retry boost), so [syndcim compile --trace] shows not
+    just what each stage produced but {e why} a retry boost happened.
+    {!Compiler.compile} is a thin compatibility wrapper over {!run}. *)
+
+let ( let* ) = Diag.( let* )
+
+(* ------------------------------------------------------------------ *)
+(* Stage names and artifacts                                           *)
+(* ------------------------------------------------------------------ *)
+
+let stage_search = "search"
+let stage_verify = "signoff_verify"
+let stage_backend = "backend"
+let stage_power = "power"
+let stage_metrics = "metrics"
+
+let stage_names =
+  [ stage_search; stage_verify; stage_backend; stage_power; stage_metrics ]
+
+type metrics = {
+  crit_ps : float;  (** post-layout, nominal voltage *)
+  fmax_ghz : float;  (** at the spec's operating voltage *)
+  power_w : float;  (** post-layout, at the spec operating point *)
+  area_mm2 : float;
+  tops : float;  (** native precision, at the spec frequency *)
+  tops_per_w : float;
+  tops_per_mm2 : float;
+  ops_norm : float;  (** 1b x 1b ops per native MAC, for normalization *)
+}
+
+(** Output of the search stage: the searcher's result plus the boost it
+    ran under and its evaluation-cache counters. *)
+type search_art = {
+  search_spec : Spec.t;  (** the spec the result is reported against *)
+  boost : float;  (** internal clock tightening (1.0 = none) *)
+  search : Searcher.result;
+  macro : Macro_rtl.t;
+  cache : Eval_cache.stats;
+}
+
+(** One iteration of the backend's ECO re-closure loop. *)
+type eco_iteration = {
+  iter : int;
+  crit_before_ps : float;  (** post-route critical path entering the pass *)
+  crit_after_ps : float;  (** post-route critical path after re-placement *)
+  upsized : int;  (** cells the wire-aware sizing pass touched *)
+  rolled_back : bool;
+  reason : string;  (** why the loop continued, rolled back, or stopped *)
+}
+
+(** Output of the backend stage: the signed-off layout plus the full ECO
+    iteration record. *)
+type backend_art = {
+  signoff : Post_layout.t;
+  eco : eco_iteration list;  (** in iteration order *)
+  eco_capped : bool;  (** budget still missed when the iteration cap hit *)
+  upsized : int;  (** total cells upsized by committed ECO passes *)
+}
+
+(** The metrics stage's verdict: reported PPA, the timing decision, and
+    the retry policy's output (the boost the next attempt should use). *)
+type verdict = {
+  metrics : metrics;
+  timing_closed : bool;
+  retry_boost : float option;
+}
+
+(** The final compilation artifact: every intermediate result, so
+    reports, experiments and the CLI can drill in. *)
+type artifact = {
+  spec : Spec.t;
+  search : Searcher.result;
+  macro : Macro_rtl.t;
+  signoff : Post_layout.t;
+  power : Power.report;
+  metrics : metrics;
+  timing_closed : bool;  (** post-layout, at the spec's operating point *)
+}
+
+(** One full pass through the five stages, kept per retry boost. *)
+type attempt = {
+  attempt_boost : float;
+  attempt_cache : Eval_cache.stats;
+  attempt_eco : eco_iteration list;
+  attempt_closed : bool;
+}
+
+type run = {
+  artifact : artifact;
+  attempts : attempt list;  (** in execution order; last one won *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** The retry-on-routing-miss loop, as explicit policy: when the search
+    met its pre-layout budget but routed wires ate the margin, re-run the
+    pipeline with the internal clock tightened by [boost_step], up to
+    [max_boost]. [max_eco_iters] caps the backend's re-closure loop. *)
+type policy = {
+  verify : bool;
+  retry : bool;
+  max_boost : float;
+  boost_step : float;
+  max_eco_iters : int;
+}
+
+let default_policy =
+  { verify = true; retry = true; max_boost = 1.2; boost_step = 1.12;
+    max_eco_iters = 3 }
+
+(** Workload assumptions for the reported power: the paper's measurement
+    conditions (12.5 % input sparsity, 50 % weight sparsity). *)
+let report_input_density = 0.125
+
+let report_weight_density = 0.5
+let report_macs = 8
+let verify_batches = 2
+
+(* ------------------------------------------------------------------ *)
+(* Stages                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Reject malformed specs with a spec-context diagnostic before they can
+   trip an [invalid_arg] deep inside Macro_rtl/Mulmux. *)
+let validate (spec : Spec.t) : (unit, Diag.t) Stdlib.result =
+  let err msg payload = Error (Diag.error ~stage:stage_search ~spec ~payload msg) in
+  let is_pow2 n = n > 0 && n land (n - 1) = 0 in
+  let wb = Precision.datapath_bits spec.Spec.weight_prec in
+  if spec.Spec.rows <= 0 || spec.Spec.cols <= 0 then
+    err "array dimensions must be positive"
+      [
+        ("rows", string_of_int spec.Spec.rows);
+        ("cols", string_of_int spec.Spec.cols);
+      ]
+  else if not (is_pow2 spec.Spec.mcr) then
+    err "MCR must be a positive power of two"
+      [ ("mcr", string_of_int spec.Spec.mcr) ]
+  else if spec.Spec.cols mod wb <> 0 then
+    err "column count must be a multiple of the stored weight width"
+      [
+        ("cols", string_of_int spec.Spec.cols);
+        ("weight_bits", string_of_int wb);
+      ]
+  else if spec.Spec.mac_freq_hz <= 0.0 || spec.Spec.weight_update_freq_hz <= 0.0
+  then err "clock targets must be positive" []
+  else if spec.Spec.vdd <= 0.0 then err "operating voltage must be positive" []
+  else Ok ()
+
+(** Stage 1 — MSO search under [boost]-tightened internal clock. *)
+let search_stage lib scl ~boost : (Spec.t, search_art) Stage.t =
+  Stage.v stage_search (fun (spec : Spec.t) ->
+      let* () = validate spec in
+      let* search, cache =
+        Diag.guard ~stage:stage_search ~spec (fun () ->
+            let cache = Eval_cache.create () in
+            let search_spec =
+              { spec with Spec.mac_freq_hz = spec.Spec.mac_freq_hz *. boost }
+            in
+            let r = Searcher.search ~cache lib scl search_spec in
+            (r, Eval_cache.stats cache))
+      in
+      let macro = search.Searcher.final.Design_point.macro in
+      let note =
+        Printf.sprintf "%s, %d points, %d techniques%s"
+          (if search.Searcher.timing_closed then "pre-layout closed"
+           else "pre-layout NOT closed")
+          (List.length search.Searcher.visited)
+          (List.length search.Searcher.applied)
+          (if boost > 1.0 then " [retry]" else "")
+      in
+      Ok
+        ( { search_spec = spec; boost; search; macro; cache },
+          Stage.meta
+            ~cells:(Ir.n_insts macro.Macro_rtl.design)
+            ~crit_out_ps:search.Searcher.final.Design_point.crit_ps
+            ~cache_hits:cache.Eval_cache.hits
+            ~cache_misses:cache.Eval_cache.misses ~boost ~note () ))
+
+(** Stage 2 — functional sign-off against the golden MAC. *)
+let verify_stage ~enabled : (search_art, search_art) Stage.t =
+  Stage.v stage_verify (fun (sa : search_art) ->
+      if not enabled then
+        Ok (sa, Stage.meta ~note:"skipped (verification disabled)" ())
+      else
+        let* () =
+          Diag.guard ~stage:stage_verify ~spec:sa.search_spec (fun () ->
+              Testbench.verify sa.macro ~seed:0xACC ~batches:verify_batches)
+        in
+        let copies = sa.macro.Macro_rtl.cfg.Macro_rtl.mcr in
+        Ok
+          ( sa,
+            Stage.meta
+              ~cells:(Ir.n_insts sa.macro.Macro_rtl.design)
+              ~note:
+                (Printf.sprintf "%d random MACs vs golden (%d weight copies)"
+                   (copies * verify_batches) copies)
+              () ))
+
+(** Stage 3 — back-end: place, route, sign off, and re-close timing with
+    the wire-aware ECO sizing loop, recording every iteration. The loop
+    alternates placement/extraction with upsizing until the post-route
+    timing stops improving (sizing only ever upsizes, so it is monotone),
+    rolls back a resize that did not survive re-placement, and caps at
+    [max_eco_iters]. *)
+let backend_stage ?spec lib ~style ~budget_ps ~max_eco_iters :
+    (Macro_rtl.t, backend_art) Stage.t =
+  Stage.v stage_backend (fun (macro : Macro_rtl.t) ->
+      let* art =
+        Diag.guard ~stage:stage_backend ?spec (fun () ->
+            let design = macro.Macro_rtl.design in
+            let iters = ref [] in
+            let capped = ref false in
+            let rec eco_loop iter pass =
+              let crit = pass.Post_layout.sta.Sta.crit_ps in
+              if crit <= budget_ps then pass
+              else if iter >= max_eco_iters then begin
+                capped := max_eco_iters > 0;
+                pass
+              end
+              else begin
+                let snap = Sizing.snapshot design in
+                let wire_cap =
+                  Route.wire_cap_fn pass.Post_layout.routing lib.Library.node
+                in
+                let sized =
+                  Sizing.speed_up ~wire_cap design lib ~target_ps:budget_ps
+                in
+                let next = Post_layout.run lib macro ~style in
+                let next_crit = next.Post_layout.sta.Sta.crit_ps in
+                if next_crit >= crit -. 1.0 then begin
+                  (* the resize did not help once re-placed: roll back *)
+                  Sizing.restore design snap;
+                  iters :=
+                    {
+                      iter;
+                      crit_before_ps = crit;
+                      crit_after_ps = next_crit;
+                      upsized = sized.Sizing.upsized;
+                      rolled_back = true;
+                      reason =
+                        Printf.sprintf
+                          "re-placed crit %.1f -> %.1f ps (< 1 ps gain): \
+                           %d upsizes rolled back"
+                          crit next_crit sized.Sizing.upsized;
+                    }
+                    :: !iters;
+                  Post_layout.run lib macro ~style
+                end
+                else begin
+                  iters :=
+                    {
+                      iter;
+                      crit_before_ps = crit;
+                      crit_after_ps = next_crit;
+                      upsized = sized.Sizing.upsized;
+                      rolled_back = false;
+                      reason =
+                        Printf.sprintf
+                          "crit %.1f -> %.1f ps after %d upsizes" crit
+                          next_crit sized.Sizing.upsized;
+                    }
+                    :: !iters;
+                  eco_loop (iter + 1) next
+                end
+              end
+            in
+            let first = Post_layout.run lib macro ~style in
+            let first_crit = first.Post_layout.sta.Sta.crit_ps in
+            let signoff = eco_loop 0 first in
+            let eco = List.rev !iters in
+            let upsized =
+              List.fold_left
+                (fun acc (i : eco_iteration) ->
+                  if i.rolled_back then acc else acc + i.upsized)
+                0 eco
+            in
+            ( { signoff; eco; eco_capped = !capped; upsized },
+              first_crit ))
+      in
+      let ba, first_crit = art in
+      let note =
+        let base =
+          Printf.sprintf "budget %.1f ps%s" budget_ps
+            (if ba.eco_capped then
+               Printf.sprintf ", ECO capped at %d iteration(s)" max_eco_iters
+             else "")
+        in
+        match List.rev ba.eco with
+        | last :: _ when last.rolled_back -> base ^ ", last ECO rolled back"
+        | _ -> base
+      in
+      Ok
+        ( ba,
+          Stage.meta ~cells:ba.upsized ~crit_in_ps:first_crit
+            ~crit_out_ps:ba.signoff.Post_layout.sta.Sta.crit_ps
+            ~eco_iters:(List.length ba.eco) ~note () ))
+
+(** Stage 4 — post-layout power at the spec's operating point. *)
+let power_stage lib ~(spec : Spec.t) :
+    (Macro_rtl.t * Post_layout.t, Power.report) Stage.t =
+  Stage.v stage_power (fun ((macro : Macro_rtl.t), signoff) ->
+      let* power =
+        Diag.guard ~stage:stage_power ~spec (fun () ->
+            Post_layout.power lib macro signoff
+              ~freq_hz:spec.Spec.mac_freq_hz ~vdd:spec.Spec.vdd
+              ~input_density:report_input_density
+              ~weight_density:report_weight_density ~macs:report_macs)
+      in
+      Ok
+        ( power,
+          Stage.meta
+            ~cells:(Ir.n_insts macro.Macro_rtl.design)
+            ~note:
+              (Printf.sprintf "%.2f mW @ %.0f MHz (%.1f %%/%.0f %% density)"
+                 (power.Power.total_w *. 1e3)
+                 (spec.Spec.mac_freq_hz /. 1e6)
+                 (report_input_density *. 100.)
+                 (report_weight_density *. 100.))
+            () ))
+
+let compute_metrics (spec : Spec.t) (m : Macro_rtl.t)
+    (signoff : Post_layout.t) (power : Power.report) node =
+  let crit_ps = signoff.Post_layout.sta.Sta.crit_ps in
+  let fmax_hz = Voltage.fmax node ~crit_path_ps:crit_ps ~vdd:spec.Spec.vdd in
+  let tops = Design_point.throughput_tops m ~freq_hz:spec.Spec.mac_freq_hz in
+  let area_mm2 = signoff.Post_layout.area_mm2 in
+  let ops_norm = float_of_int (m.Macro_rtl.db * m.Macro_rtl.wb) in
+  {
+    crit_ps;
+    fmax_ghz = fmax_hz /. 1e9;
+    power_w = power.Power.total_w;
+    area_mm2;
+    tops;
+    tops_per_w = tops /. power.Power.total_w;
+    tops_per_mm2 = tops /. area_mm2;
+    ops_norm;
+  }
+
+(** Stage 5 — reported PPA, the timing verdict, and the retry decision:
+    a post-layout miss whose search closed pre-layout schedules a
+    tightened re-run ([boost *. boost_step], capped at [max_boost]). *)
+let metrics_stage lib ~(policy : policy) :
+    (search_art * backend_art * Power.report, verdict) Stage.t =
+  Stage.v stage_metrics
+    (fun ((sa : search_art), (ba : backend_art), (power : Power.report)) ->
+      let spec = sa.search_spec in
+      let* metrics =
+        Diag.guard ~stage:stage_metrics ~spec (fun () ->
+            compute_metrics spec sa.macro ba.signoff power lib.Library.node)
+      in
+      let timing_closed =
+        metrics.fmax_ghz *. 1e9 >= spec.Spec.mac_freq_hz *. 0.999
+      in
+      let retry_boost =
+        if
+          (not timing_closed) && policy.retry && sa.boost < policy.max_boost
+          && sa.search.Searcher.timing_closed
+        then Some (sa.boost *. policy.boost_step)
+        else None
+      in
+      let note =
+        if timing_closed then
+          Printf.sprintf "timing closed: fmax %.2f GHz >= %.0f MHz"
+            metrics.fmax_ghz
+            (spec.Spec.mac_freq_hz /. 1e6)
+        else
+          match retry_boost with
+          | Some b ->
+              Printf.sprintf
+                "post-route miss (fmax %.2f GHz < %.0f MHz) but search \
+                 closed pre-layout: retry at boost x%.2f"
+                metrics.fmax_ghz
+                (spec.Spec.mac_freq_hz /. 1e6)
+                b
+          | None ->
+              Printf.sprintf "timing NOT closed (fmax %.2f GHz), no retry %s"
+                metrics.fmax_ghz
+                (if not sa.search.Searcher.timing_closed then
+                   "(search missed pre-layout)"
+                 else if not policy.retry then "(retry disabled)"
+                 else "(boost exhausted)")
+      in
+      Ok
+        ( { metrics; timing_closed; retry_boost },
+          Stage.meta ~crit_in_ps:ba.signoff.Post_layout.sta.Sta.crit_ps
+            ~crit_out_ps:metrics.crit_ps ~boost:sa.boost ~note () ))
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** [run ?style ?policy ?trace ?inject lib scl spec] — thread the five
+    stages, re-running the whole pipeline under the retry policy when the
+    metrics stage asks for a boost. Every stage execution (across every
+    attempt) appends a row to [trace]; [inject] forces the named stage to
+    fail, for exercising the diagnostic path. *)
+let run ?(style = Floorplan.Sdp) ?(policy = default_policy) ?trace ?inject
+    lib scl (spec : Spec.t) : (run, Diag.t) Stdlib.result =
+  let exec s x = Stage.execute ?trace ?inject s x in
+  let budget_ps = Spec.nominal_budget_ps spec lib.Library.node in
+  let rec attempt acc boost =
+    let* sa = exec (search_stage lib scl ~boost) spec in
+    let* sa = exec (verify_stage ~enabled:policy.verify) sa in
+    let* ba =
+      exec
+        (backend_stage lib ~style ~spec ~budget_ps
+           ~max_eco_iters:policy.max_eco_iters)
+        sa.macro
+    in
+    let* power = exec (power_stage lib ~spec) (sa.macro, ba.signoff) in
+    let* v = exec (metrics_stage lib ~policy) (sa, ba, power) in
+    let acc =
+      acc
+      @ [
+          {
+            attempt_boost = boost;
+            attempt_cache = sa.cache;
+            attempt_eco = ba.eco;
+            attempt_closed = v.timing_closed;
+          };
+        ]
+    in
+    match v.retry_boost with
+    | Some b -> attempt acc b
+    | None ->
+        Ok
+          {
+            artifact =
+              {
+                spec;
+                search = sa.search;
+                macro = sa.macro;
+                signoff = ba.signoff;
+                power;
+                metrics = v.metrics;
+                timing_closed = v.timing_closed;
+              };
+            attempts = acc;
+          }
+  in
+  attempt [] 1.0
+
+(** [artifact_exn r] — unwrap a pipeline result, raising {!Diag.Failed}
+    on a diagnostic. For harness code whose specs are known-good. *)
+let artifact_exn = function
+  | Ok r -> r.artifact
+  | Error d -> raise (Diag.Failed d)
+
+(* ------------------------------------------------------------------ *)
+(* Stage-level entry points for the experiment harnesses               *)
+(* ------------------------------------------------------------------ *)
+
+(** [search_only ?trace lib scl spec] — run just the search stage. *)
+let search_only ?trace lib scl (spec : Spec.t) :
+    (search_art, Diag.t) Stdlib.result =
+  Stage.execute ?trace (search_stage lib scl ~boost:1.0) spec
+
+(** [backend_once ?trace ?spec lib ~style macro] — one place/route/sign-off
+    pass with no ECO re-closure (infinite budget, zero iterations). *)
+let backend_once ?trace ?spec lib ~style (macro : Macro_rtl.t) :
+    (backend_art, Diag.t) Stdlib.result =
+  Stage.execute ?trace
+    (backend_stage lib ~style ?spec ~budget_ps:infinity ~max_eco_iters:0)
+    macro
+
+(* ------------------------------------------------------------------ *)
+(* Stage artifact serialization (--dump-stage)                         *)
+(* ------------------------------------------------------------------ *)
+
+let describe_eco (eco : eco_iteration list) =
+  if eco = [] then "eco: no iterations (budget met at first sign-off)\n"
+  else
+    String.concat ""
+      (List.map
+         (fun (i : eco_iteration) ->
+           Printf.sprintf "eco[%d]: %s%s\n" i.iter i.reason
+             (if i.rolled_back then " [rolled back]" else ""))
+         eco)
+
+let rec mkdirs dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdirs (Filename.dirname dir);
+    Sys.mkdir dir 0o755
+  end
+
+(** [dump_stage lib r ~name ~dir] — serialize the named stage's artifact
+    (netlist + stats, floorplan DEF, STA summary with the ECO record,
+    power breakdown, metrics) into [dir]; returns the files written. *)
+let dump_stage lib (r : run) ~name ~dir :
+    (string list, Diag.t) Stdlib.result =
+  let a = r.artifact in
+  Diag.guard ~stage:name ~spec:a.spec (fun () ->
+      mkdirs dir;
+      let file fname text =
+        let oc = open_out (Filename.concat dir fname) in
+        output_string oc text;
+        close_out oc;
+        fname
+      in
+      match name with
+      | "search" ->
+          Verilog.write_file
+            (Filename.concat dir "netlist.v")
+            a.macro.Macro_rtl.design;
+          let stats = Stats.of_design a.macro.Macro_rtl.design lib in
+          let txt =
+            Printf.sprintf
+              "spec: %s\nattempts: %d (final boost x%.2f)\npre-layout crit: \
+               %.1f ps\npre-layout timing: %s\ninstances: %d\nnets: %d\n\
+               area: %.0f um2\ncache: %d hits / %d misses\ntechniques:\n%s"
+              (Spec.describe a.spec) (List.length r.attempts)
+              (match List.rev r.attempts with
+              | last :: _ -> last.attempt_boost
+              | [] -> 1.0)
+              a.search.Searcher.final.Design_point.crit_ps
+              (if a.search.Searcher.timing_closed then "closed"
+               else "NOT closed")
+              (Ir.n_insts a.macro.Macro_rtl.design)
+              a.macro.Macro_rtl.design.Ir.n_nets stats.Stats.area_um2
+              (match List.rev r.attempts with
+              | last :: _ -> last.attempt_cache.Eval_cache.hits
+              | [] -> 0)
+              (match List.rev r.attempts with
+              | last :: _ -> last.attempt_cache.Eval_cache.misses
+              | [] -> 0)
+              (String.concat ""
+                 (List.map
+                    (fun t ->
+                      Printf.sprintf "  - %s\n" (Searcher.technique_name t))
+                    a.search.Searcher.applied))
+          in
+          [ "netlist.v"; file "search.txt" txt ]
+      | "signoff_verify" ->
+          [
+            file "verify.txt"
+              (Printf.sprintf
+                 "spec: %s\nverified: %d random MAC batches per weight copy \
+                  (%d copies) against the golden model, seed 0x%X\n"
+                 (Spec.describe a.spec) verify_batches
+                 a.macro.Macro_rtl.cfg.Macro_rtl.mcr 0xACC);
+          ]
+      | "backend" ->
+          Def_writer.write_file lib
+            (Filename.concat dir "floorplan.def")
+            a.signoff.Post_layout.placement;
+          let eco =
+            match List.rev r.attempts with
+            | last :: _ -> last.attempt_eco
+            | [] -> []
+          in
+          let txt =
+            Printf.sprintf
+              "post-layout crit: %.1f ps\narea: %.4f mm2\nwirelength: %.1f \
+               mm\nDRC violations: %d\nLVS: %s\n%s"
+              a.signoff.Post_layout.sta.Sta.crit_ps
+              a.signoff.Post_layout.area_mm2
+              a.signoff.Post_layout.total_wirelength_mm
+              (List.length a.signoff.Post_layout.drc_violations)
+              (if a.signoff.Post_layout.lvs.Lvs.clean then "clean" else "DIRTY")
+              (describe_eco eco)
+          in
+          [ "floorplan.def"; file "sta.txt" txt ]
+      | "power" ->
+          let b = Buffer.create 512 in
+          Buffer.add_string b
+            (Printf.sprintf "total: %.4f mW @ %.0f MHz, %.2f V\n"
+               (a.power.Power.total_w *. 1e3)
+               (a.spec.Spec.mac_freq_hz /. 1e6)
+               a.spec.Spec.vdd);
+          List.iter
+            (fun (name, w) ->
+              Buffer.add_string b
+                (Printf.sprintf "  %-16s %.4f mW\n" name (w *. 1e3)))
+            a.power.Power.by_subcircuit;
+          [ file "power.txt" (Buffer.contents b) ]
+      | "metrics" ->
+          let m = a.metrics in
+          [
+            file "metrics.txt"
+              (Printf.sprintf
+                 "crit_ps: %.1f\nfmax_ghz: %.3f\npower_w: %.6f\narea_mm2: \
+                  %.6f\ntops: %.4f\ntops_per_w: %.2f\ntops_per_mm2: %.2f\n\
+                  ops_norm: %.0f\ntiming_closed: %b\n"
+                 m.crit_ps m.fmax_ghz m.power_w m.area_mm2 m.tops
+                 m.tops_per_w m.tops_per_mm2 m.ops_norm a.timing_closed);
+          ]
+      | other ->
+          failwith
+            (Printf.sprintf "unknown stage %S (expected one of: %s)" other
+               (String.concat ", " stage_names)))

@@ -1,0 +1,89 @@
+(** The pipeline's pass abstraction: a named, typed transformation from
+    one artifact to the next, returning [('b, Diag.t) result].
+
+    A stage's run function also produces a {!meta} — the instrumentation
+    the stage measured about itself (cells touched, critical path in/out,
+    cache hits, ECO iterations). {!execute} wraps the run with wall-clock
+    timing, records one {!Trace} row per invocation (successful or not),
+    and supports fault injection by stage name so the failure path can be
+    exercised end-to-end without a genuinely broken netlist. *)
+
+type meta = {
+  cells : int option;
+  crit_in_ps : float option;
+  crit_out_ps : float option;
+  cache_hits : int option;
+  cache_misses : int option;
+  eco_iters : int option;
+  boost : float option;
+  note : string;
+}
+
+let meta ?cells ?crit_in_ps ?crit_out_ps ?cache_hits ?cache_misses ?eco_iters
+    ?boost ?(note = "") () =
+  { cells; crit_in_ps; crit_out_ps; cache_hits; cache_misses; eco_iters;
+    boost; note }
+
+type ('a, 'b) t = {
+  name : string;
+  run : 'a -> ('b * meta, Diag.t) Stdlib.result;
+}
+
+let v name run = { name; run }
+let name (s : ('a, 'b) t) = s.name
+
+(** [execute ?trace ?inject stage input] — run the stage, time it, and
+    append one row to [trace]. With [inject = Some stage.name] the run is
+    skipped and the stage fails with an "injected failure" diagnostic —
+    the hook the CLI's [--inject-fail] and the failure-path tests use. *)
+let execute ?trace ?inject (s : ('a, 'b) t) (x : 'a) :
+    ('b, Diag.t) Stdlib.result =
+  let injected =
+    match inject with Some n when n = s.name -> true | _ -> false
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    if injected then
+      Error
+        (Diag.error ~stage:s.name
+           ~payload:[ ("injected", "true") ]
+           "injected failure (test hook)")
+    else s.run x
+  in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  (match trace with
+  | None -> ()
+  | Some tr ->
+      let row =
+        match outcome with
+        | Ok (_, m) ->
+            {
+              Trace.stage = s.name;
+              ok = true;
+              wall_ms;
+              cells = m.cells;
+              crit_in_ps = m.crit_in_ps;
+              crit_out_ps = m.crit_out_ps;
+              cache_hits = m.cache_hits;
+              cache_misses = m.cache_misses;
+              eco_iters = m.eco_iters;
+              boost = m.boost;
+              note = m.note;
+            }
+        | Error d ->
+            {
+              Trace.stage = s.name;
+              ok = false;
+              wall_ms;
+              cells = None;
+              crit_in_ps = None;
+              crit_out_ps = None;
+              cache_hits = None;
+              cache_misses = None;
+              eco_iters = None;
+              boost = None;
+              note = Diag.to_string d;
+            }
+      in
+      Trace.add tr row);
+  Stdlib.Result.map fst outcome

@@ -84,7 +84,11 @@ let search_ladder ?(freqs_mhz = [ 300.; 500.; 800.; 1100. ]) ?jobs lib scl
   Pool.parallel_map ?jobs
     (fun f ->
       let spec = { base with Spec.mac_freq_hz = f *. 1e6 } in
-      let r = Searcher.search lib scl spec in
+      let r =
+        match Pipeline.search_only lib scl spec with
+        | Ok sa -> sa.Pipeline.search
+        | Error d -> raise (Diag.Failed d)
+      in
       {
         freq_mhz = f;
         closed = r.Searcher.timing_closed;
@@ -212,7 +216,11 @@ let placements ?(dims = [ 32; 64; 128 ]) ?jobs lib =
           ~input_prec:Precision.int8 ~weight_prec:Precision.int8
       in
       let m = Macro_rtl.build lib cfg in
-      let s = Post_layout.run lib m ~style in
+      let s =
+        match Pipeline.backend_once lib ~style m with
+        | Ok ba -> ba.Pipeline.signoff
+        | Error d -> raise (Diag.Failed d)
+      in
       {
         dim;
         style = Floorplan.style_name style;

@@ -20,7 +20,7 @@ let template_base (spec : Spec.t) =
 
 (* Evaluate a fixed template with no timing-driven sizing: build fresh,
    measure as-is (every cell at minimum drive). *)
-let evaluate_unsized lib (spec : Spec.t) cfg =
+let evaluate_unsized_raw lib (spec : Spec.t) cfg =
   let macro = Macro_rtl.build lib cfg in
   let sta = Sta.analyze macro.Macro_rtl.design lib in
   let stats = Stats.of_design macro.Macro_rtl.design lib in
@@ -50,8 +50,28 @@ let evaluate_unsized lib (spec : Spec.t) cfg =
       Design_point.throughput_tops macro ~freq_hz:spec.Spec.mac_freq_hz;
   }
 
+(* Each baseline evaluation runs as a named pipeline stage, so a trace
+   shows the baselines alongside the compiled design's stage rows and a
+   malformed template surfaces as a diagnostic, not an exception. *)
+let evaluate_unsized ?trace ~name lib (spec : Spec.t) cfg =
+  let stage_name = "baseline:" ^ name in
+  let stage =
+    Stage.v stage_name (fun () ->
+        Diag.guard ~stage:stage_name ~spec (fun () ->
+            evaluate_unsized_raw lib spec cfg)
+        |> Result.map (fun (p : Design_point.t) ->
+               ( p,
+                 Stage.meta
+                   ~cells:(Ir.n_insts p.Design_point.macro.Macro_rtl.design)
+                   ~crit_out_ps:p.Design_point.crit_ps
+                   ~note:"unsized template, no search" () )))
+  in
+  match Stage.execute ?trace stage () with
+  | Ok p -> p
+  | Error d -> raise (Diag.Failed d)
+
 (** AutoDCIM-style template: area-greedy fixed choices, no optimization. *)
-let autodcim lib (spec : Spec.t) =
+let autodcim ?trace lib (spec : Spec.t) =
   let cfg =
     {
       (template_base spec) with
@@ -59,26 +79,26 @@ let autodcim lib (spec : Spec.t) =
       tree = Adder_tree.Rca_tree;
     }
   in
-  evaluate_unsized lib spec cfg
+  evaluate_unsized ?trace ~name:"autodcim" lib spec cfg
 
 (** Conventional signed-RCA adder-tree macro. *)
-let rca_conventional lib (spec : Spec.t) =
+let rca_conventional ?trace lib (spec : Spec.t) =
   let cfg = { (template_base spec) with Macro_rtl.tree = Adder_tree.Rca_tree } in
-  evaluate_unsized lib spec cfg
+  evaluate_unsized ?trace ~name:"rca" lib spec cfg
 
 (** Pure 4-2 compressor CSA macro (no reordering, no FA mixing). *)
-let pure_compressor lib (spec : Spec.t) =
+let pure_compressor ?trace lib (spec : Spec.t) =
   let cfg =
     {
       (template_base spec) with
       Macro_rtl.tree = Adder_tree.Csa { fa_ratio = 0.0; reorder = false };
     }
   in
-  evaluate_unsized lib spec cfg
+  evaluate_unsized ?trace ~name:"compressor" lib spec cfg
 
-let all lib spec =
+let all ?trace lib spec =
   [
-    ("AutoDCIM-style template", autodcim lib spec);
-    ("conventional RCA tree", rca_conventional lib spec);
-    ("pure 4-2 compressor", pure_compressor lib spec);
+    ("AutoDCIM-style template", autodcim ?trace lib spec);
+    ("conventional RCA tree", rca_conventional ?trace lib spec);
+    ("pure 4-2 compressor", pure_compressor ?trace lib spec);
   ]

@@ -54,17 +54,18 @@ let spec ~dim ~input_prec ~weight_prec : Spec.t =
 
 let run_point lib scl ~dim ~name ~input_prec ~weight_prec =
   let a =
-    Compiler.compile lib scl (spec ~dim ~input_prec ~weight_prec)
+    Pipeline.artifact_exn
+      (Pipeline.run lib scl (spec ~dim ~input_prec ~weight_prec))
   in
-  let m = a.Compiler.metrics in
+  let m = a.Pipeline.metrics in
   {
     dim;
     precision = name;
-    power_mw = m.Compiler.power_w *. 1e3;
-    tops_native = m.Compiler.tops;
-    tops_w_native = m.Compiler.tops_per_w;
-    tops_w_1b = m.Compiler.tops_per_w *. m.Compiler.ops_norm;
-    closed = a.Compiler.timing_closed;
+    power_mw = m.Pipeline.power_w *. 1e3;
+    tops_native = m.Pipeline.tops;
+    tops_w_native = m.Pipeline.tops_per_w;
+    tops_w_1b = m.Pipeline.tops_per_w *. m.Pipeline.ops_norm;
+    closed = a.Pipeline.timing_closed;
   }
 
 (** [run lib scl ~dims] computes the full figure; [dims] defaults to the

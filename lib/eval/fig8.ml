@@ -10,7 +10,7 @@
 
 type selected = {
   preference : string;
-  artifact : Compiler.artifact;
+  artifact : Pipeline.artifact;
 }
 
 type result = {
@@ -22,11 +22,12 @@ type result = {
       (** hit/miss counters of the sweep's shared evaluation cache *)
 }
 
-(** [run ?jobs lib scl] — the sweep fans out over a domain pool and the
-    four selected designs go through the back-end in parallel as well;
-    each back-end compile searches its own configuration, so they share
-    no mutable state. *)
-let run ?jobs lib scl =
+(** [run ?jobs ?trace lib scl] — the sweep fans out over a domain pool
+    and the four selected designs go through the staged pipeline in
+    parallel as well; each back-end compile searches its own
+    configuration, so they share no mutable state. [trace] collects the
+    baseline evaluations' stage rows. *)
+let run ?jobs ?trace lib scl =
   let spec = Spec.fig8 in
   let cache = Eval_cache.create () in
   let frontier, cloud = Searcher.pareto_sweep ?jobs ~cache lib scl spec in
@@ -35,14 +36,16 @@ let run ?jobs lib scl =
       (fun preference ->
         {
           preference = Spec.preference_name preference;
-          artifact = Compiler.compile lib scl { spec with Spec.preference };
+          artifact =
+            Pipeline.artifact_exn
+              (Pipeline.run lib scl { spec with Spec.preference });
         })
       [
         Spec.Prefer_power; Spec.Prefer_area; Spec.Prefer_performance;
         Spec.Balanced;
       ]
   in
-  let baseline_points = Baselines.all lib spec in
+  let baseline_points = Baselines.all ?trace lib spec in
   {
     frontier;
     cloud;
@@ -85,13 +88,13 @@ let print (r : result) =
   let rows =
     List.map
       (fun s ->
-        let m = s.artifact.Compiler.metrics in
+        let m = s.artifact.Pipeline.metrics in
         [
           s.preference;
-          Table.f (m.Compiler.power_w *. 1e3);
-          Table.f ~digits:4 m.Compiler.area_mm2;
-          Table.f m.Compiler.fmax_ghz;
-          (if s.artifact.Compiler.timing_closed then "closed" else "missed");
+          Table.f (m.Pipeline.power_w *. 1e3);
+          Table.f ~digits:4 m.Pipeline.area_mm2;
+          Table.f m.Pipeline.fmax_ghz;
+          (if s.artifact.Pipeline.timing_closed then "closed" else "missed");
         ])
       r.implemented
   in

@@ -36,9 +36,11 @@ let shmoo ?(vdds = default_vdds) ?(freqs_mhz = default_freqs_mhz) ?jobs node
   in
   { crit_ps; vdds; freqs_mhz; pass }
 
-(** [run lib artifact] derives the shmoo of a compiled macro. *)
-let run ?jobs lib (a : Compiler.artifact) =
-  shmoo ?jobs lib.Library.node ~crit_ps:a.Compiler.metrics.Compiler.crit_ps
+(** [run lib artifact] derives the shmoo of a compiled macro — any
+    pipeline artifact works, so an experiment can reuse the compile
+    another harness already ran. *)
+let run ?jobs lib (a : Pipeline.artifact) =
+  shmoo ?jobs lib.Library.node ~crit_ps:a.Pipeline.metrics.Pipeline.crit_ps
 
 (** [fmax_mhz t ~vdd] — highest passing grid frequency at [vdd]. *)
 let fmax_mhz (t : t) ~vdd =

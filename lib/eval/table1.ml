@@ -45,16 +45,16 @@ let demonstrate lib scl =
       mcr = 2;
     }
   in
-  let a = Compiler.compile lib scl spec in
+  let a = Pipeline.artifact_exn (Pipeline.run lib scl spec) in
   let fp_spec =
     { spec with Spec.input_prec = Precision.fp8; mac_freq_hz = 500e6 }
   in
-  let fp = Compiler.compile lib scl fp_spec in
+  let fp = Pipeline.artifact_exn (Pipeline.run lib scl fp_spec) in
   {
     end_to_end_signoff =
-      a.Compiler.signoff.Post_layout.lvs.Lvs.clean
-      && a.Compiler.signoff.Post_layout.drc_violations = [];
-    fp_compile_verified = fp.Compiler.signoff.Post_layout.lvs.Lvs.clean;
+      a.Pipeline.signoff.Post_layout.lvs.Lvs.clean
+      && a.Pipeline.signoff.Post_layout.drc_violations = [];
+    fp_compile_verified = fp.Pipeline.signoff.Post_layout.lvs.Lvs.clean;
     selectable_variants =
       [
         ("memory_cell", List.length Scl.cell_menu);
@@ -62,7 +62,7 @@ let demonstrate lib scl =
         ("adder_tree", List.length Scl.tree_menu);
         ("shift_adder", List.length Scl.sa_menu);
       ];
-    techniques_applied = List.length a.Compiler.search.Searcher.applied;
+    techniques_applied = List.length a.Pipeline.search.Searcher.applied;
   }
 
 let mark b = if b then "yes" else "no"

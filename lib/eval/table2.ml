@@ -11,7 +11,7 @@
     low-voltage efficiency point (0.7 V). *)
 
 type this_design = {
-  artifact : Compiler.artifact;
+  artifact : Pipeline.artifact;
   array_kb : float;
   area_mm2 : float;
   peak_ghz : float;  (** at 1.2 V *)
@@ -35,10 +35,10 @@ let chip_spec : Spec.t =
   }
 
 let measure lib scl : this_design =
-  let a = Compiler.compile lib scl chip_spec in
+  let a = Pipeline.artifact_exn (Pipeline.run lib scl chip_spec) in
   let node = lib.Library.node in
-  let crit = a.Compiler.metrics.Compiler.crit_ps in
-  let m = a.Compiler.macro in
+  let crit = a.Pipeline.metrics.Pipeline.crit_ps in
+  let m = a.Pipeline.macro in
   let peak_hz = Voltage.fmax node ~crit_path_ps:crit ~vdd:1.2 in
   let ops_norm = float_of_int (m.Macro_rtl.db * m.Macro_rtl.wb) in
   let tops_at hz = Design_point.throughput_tops m ~freq_hz:hz *. ops_norm in
@@ -47,12 +47,12 @@ let measure lib scl : this_design =
   let eff_vdd = 0.7 in
   let eff_hz = Voltage.fmax node ~crit_path_ps:crit ~vdd:eff_vdd in
   let power =
-    Post_layout.power lib m a.Compiler.signoff ~freq_hz:eff_hz ~vdd:eff_vdd
-      ~input_density:Compiler.report_input_density
-      ~weight_density:Compiler.report_weight_density
-      ~macs:Compiler.report_macs
+    Post_layout.power lib m a.Pipeline.signoff ~freq_hz:eff_hz ~vdd:eff_vdd
+      ~input_density:Pipeline.report_input_density
+      ~weight_density:Pipeline.report_weight_density
+      ~macs:Pipeline.report_macs
   in
-  let area = a.Compiler.metrics.Compiler.area_mm2 in
+  let area = a.Pipeline.metrics.Pipeline.area_mm2 in
   {
     artifact = a;
     array_kb =

@@ -16,6 +16,16 @@ exception
     detail : string;
   }
 
+(** A bench-protocol failure that is not a value mismatch: the macro never
+    produced a result, or the bench was asked to drive a macro it cannot.
+    Structured (operation + detail) so the compiler's diagnostic layer can
+    attach the spec context instead of parsing a [failwith] string. *)
+exception
+  Bench_error of {
+    op : string;  (** the bench entry point that failed *)
+    detail : string;
+  }
+
 (** [load_weights m sim ~copy weights] writes [weights.(word).(row)]
     (signed [wb]-bit integers) into weight copy [copy]. *)
 let load_weights (m : Macro_rtl.t) sim ~copy
@@ -109,14 +119,27 @@ let run_mac ?active_bits (m : Macro_rtl.t) sim ~(inputs : int array) =
     (bounded by twice the expected latency) and read the results. Only
     valid for macros built with [with_controller = true]. *)
 let run_mac_auto (m : Macro_rtl.t) sim ~(inputs : int array) =
-  assert m.cfg.with_controller;
+  if not m.cfg.with_controller then
+    raise
+      (Bench_error
+         {
+           op = "run_mac_auto";
+           detail = "macro was built without the controller FSM";
+         });
   present_inputs m sim inputs;
   Sim.set_bus sim "start" 1;
   Sim.step sim;
   Sim.set_bus sim "start" 0;
   let limit = 2 * (Macro_rtl.mac_latency m + 2) in
   let rec wait k =
-    if k > limit then failwith "run_mac_auto: done never asserted";
+    if k > limit then
+      raise
+        (Bench_error
+           {
+             op = "run_mac_auto";
+             detail =
+               Printf.sprintf "done never asserted within %d cycles" limit;
+           });
     Sim.eval sim;
     if Sim.read_bus sim "done" = 1 then ()
     else begin

@@ -16,6 +16,7 @@ type failure_report = {
   shrunk : Spec.t;  (** minimal reproducer *)
   shrink_steps : int;
   detail : string;  (** first divergence on the original spec *)
+  diag : Diag.t;  (** the divergence as a structured stage diagnostic *)
 }
 
 type property = { name : string; passed : int; failed : int }
@@ -93,6 +94,7 @@ let run ?jobs ?bug ?(random_batches = 2) ?(meta_stride = 25) ~seed ~count
                 shrunk;
                 shrink_steps;
                 detail = Diffcheck.describe_failure f;
+                diag = Diffcheck.diag_of_failure ~stage:"campaign" s f;
               })
       outcomes
   in
@@ -120,6 +122,45 @@ let run ?jobs ?bug ?(random_batches = 2) ?(meta_stride = 25) ~seed ~count
 let clean (r : report) =
   r.failures = []
   && List.for_all (fun p -> p.failed = 0) r.properties
+
+(** [diagnostics r] — every campaign finding as a structured diagnostic:
+    one per differential failure (with the shrunk reproducer in the
+    payload), one per failing metamorphic property. The CLI and tests
+    assert on these instead of string-matching the human report. *)
+let diagnostics (r : report) : Diag.t list =
+  let failure_diags =
+    List.map
+      (fun f ->
+        {
+          f.diag with
+          Diag.payload =
+            f.diag.Diag.payload
+            @ [
+                ("spec_index", string_of_int f.index);
+                ("shrunk", Spec.describe f.shrunk);
+                ("shrink_steps", string_of_int f.shrink_steps);
+              ];
+        })
+      r.failures
+  in
+  let property_diags =
+    List.filter_map
+      (fun p ->
+        if p.failed = 0 then None
+        else
+          Some
+            (Diag.error ~stage:"campaign"
+               ~payload:
+                 [
+                   ("property", p.name);
+                   ("passed", string_of_int p.passed);
+                   ("failed", string_of_int p.failed);
+                 ]
+               (Printf.sprintf "metamorphic property %S failed %d of %d"
+                  p.name p.failed (p.passed + p.failed))))
+      r.properties
+  in
+  failure_diags @ property_diags
 
 (** [describe r] — the human report: campaign counters, one line per
     property with pass/fail counts, and every failure with its shrunk

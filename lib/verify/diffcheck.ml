@@ -38,6 +38,21 @@ let describe_failure (f : failure) =
   Printf.sprintf "%s: word %d expected %d, got %d" f.set_name f.word
     f.expected f.got
 
+(** [diag_of_failure spec f] — a differential divergence as a structured
+    stage diagnostic, so the campaign and the CLI report through the same
+    {!Diag} channel as the compilation pipeline. *)
+let diag_of_failure ?(stage = "diffcheck") (spec : Spec.t) (f : failure) :
+    Diag.t =
+  Diag.error ~stage ~spec
+    ~payload:
+      [
+        ("set", f.set_name);
+        ("word", string_of_int f.word);
+        ("expected", string_of_int f.expected);
+        ("got", string_of_int f.got);
+      ]
+    (describe_failure f)
+
 let is_fp (m : Macro_rtl.t) =
   match m.Macro_rtl.cfg.Macro_rtl.input_prec with
   | Precision.Fp _ -> true
@@ -200,3 +215,13 @@ let check_spec ?bug ?(random_batches = 2) ~seed lib (spec : Spec.t) :
 (** [fails ?bug ~seed lib spec] — predicate form for the shrinker. *)
 let fails ?bug ~seed lib spec =
   (check_spec ?bug ~seed lib spec).failure <> None
+
+(** [check_spec_result ?bug ~seed lib spec] — result form: the number of
+    comparisons performed, or the first divergence as a diagnostic.
+    Callers assert on the diagnostic instead of catching exceptions. *)
+let check_spec_result ?bug ?random_batches ~seed lib (spec : Spec.t) :
+    (int, Diag.t) Stdlib.result =
+  let o = check_spec ?bug ?random_batches ~seed lib spec in
+  match o.failure with
+  | None -> Ok o.checks
+  | Some f -> Error (diag_of_failure spec f)

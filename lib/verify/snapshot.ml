@@ -147,6 +147,18 @@ let check ?jobs ~dir lib : (int, string) Stdlib.result =
     | None -> Ok (List.length canonical_specs)
     | Some report -> Error report
 
+(** [check_diag ?jobs ~dir lib] — {!check} with the mismatch carried as a
+    structured diagnostic (stage ["snapshot"], per-spec payload), so the
+    CLI reports it through the same channel as pipeline diagnostics. *)
+let check_diag ?jobs ~dir lib : (int, Diag.t) Stdlib.result =
+  match check ?jobs ~dir lib with
+  | Ok n -> Ok n
+  | Error report ->
+      Error
+        (Diag.error ~stage:"snapshot"
+           ~payload:[ ("dir", dir); ("file", file) ]
+           report)
+
 (** [update ?jobs ~dir lib] — re-record the snapshot; returns the path. *)
 let rec mkdirs dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
