@@ -169,6 +169,135 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a DCIM macro from a specification")
     term
 
+(* ---------------- batch ---------------- *)
+
+let batch_cmd =
+  let manifest =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"MANIFEST"
+             ~doc:"Manifest file: one spec per line as whitespace-separated                    key=value fields (rows, cols, mcr, iprec, wprec, freq_mhz,                    wupd_mhz, vdd, prefer), # comments allowed.")
+  in
+  let gen =
+    Arg.(value & opt (some (pair ~sep:':' int int)) None
+         & info [ "gen" ] ~docv:"SEED:COUNT"
+             ~doc:"Generate the batch instead of reading a manifest: COUNT                    stratified specs from the verification fuzzer, deterministic                    in SEED.")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ]
+             ~doc:"Worker domains (default: the SYNDCIM_JOBS environment                    variable, then the number of cores). Must be >= 1.")
+  in
+  let cache_dir =
+    Arg.(value & opt string ".syndcim-cache"
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Persistent compile-cache directory (created if missing;                    its parent must exist).")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ] ~doc:"Compile everything; neither read nor                    write the persistent cache.")
+  in
+  let warm =
+    Arg.(value & flag
+         & info [ "warm" ]
+             ~doc:"Populate-only mode: compile misses into the cache and                    print just the summary line, no per-spec report.")
+  in
+  let manifest_out =
+    Arg.(value & opt (some string) None
+         & info [ "manifest-out" ] ~docv:"FILE"
+             ~doc:"Write the machine-readable batch manifest (JSON:                    per-spec status, PPA, cache hit/miss, wall time) here.")
+  in
+  let ppa_out =
+    Arg.(value & opt (some string) None
+         & info [ "ppa-out" ] ~docv:"FILE"
+             ~doc:"Write the deterministic full-precision PPA record here                    (byte-identical across cache states and job counts).")
+  in
+  let trace_flag =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Print the merged per-stage instrumentation table,                    including one cache row per spec.")
+  in
+  let run manifest gen jobs cache_dir no_cache warm manifest_out ppa_out
+      trace_on =
+    let ( let* ) = Result.bind in
+    let outcome =
+      let* jobs =
+        match jobs with
+        | None -> Ok None
+        | Some j -> Result.map Option.some (Batch.validate_jobs j)
+      in
+      let* specs =
+        match (manifest, gen) with
+        | Some path, None -> Batch.load_manifest path
+        | None, Some (seed, count) ->
+            if count < 1 then
+              Error
+                (Diag.error ~stage:"batch"
+                   ~payload:[ ("count", string_of_int count) ]
+                   "--gen needs a positive spec count")
+            else Ok (Specgen.generate ~seed ~count)
+        | Some _, Some _ ->
+            Error
+              (Diag.error ~stage:"batch"
+                 "give a manifest file or --gen, not both")
+        | None, None ->
+            Error
+              (Diag.error ~stage:"batch"
+                 "no input: give a manifest file or --gen SEED:COUNT")
+      in
+      let* cache =
+        if no_cache then Ok None
+        else
+          match Disk_cache.open_root cache_dir with
+          | Ok c -> Ok (Some c)
+          | Error msg ->
+              Error
+                (Diag.error ~stage:"batch"
+                   ~payload:[ ("cache-dir", cache_dir) ]
+                   msg)
+      in
+      Ok (jobs, specs, cache)
+    in
+    match outcome with
+    | Error d ->
+        (* one-line diagnostic, non-zero exit, never a backtrace *)
+        print_endline (Diag.to_string d);
+        1
+    | Ok (jobs, specs, cache) ->
+        let lib = Library.n40 () in
+        let scl = Scl.create lib in
+        let trace = if trace_on then Some (Trace.create ()) else None in
+        let r = Batch.run ?jobs ?cache ?trace lib scl specs in
+        List.iter (fun d -> print_endline (Diag.to_string d)) r.Batch.warnings;
+        if not warm then print_string (Batch.render_table r);
+        print_endline (Batch.describe r);
+        (match cache with
+        | Some c ->
+            Printf.printf "cache: %s (%d entries in %s)\n"
+              (Disk_cache.describe (Disk_cache.stats c))
+              (Disk_cache.entry_count c) (Disk_cache.root c)
+        | None -> ());
+        (match trace with
+        | Some t ->
+            print_endline "batch trace:";
+            print_string (Trace.render t)
+        | None -> ());
+        let write path text =
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Printf.printf "wrote %s\n" path
+        in
+        Option.iter (fun p -> write p (Batch.manifest_json r)) manifest_out;
+        Option.iter (fun p -> write p (Batch.render_ppa r)) ppa_out;
+        if r.Batch.failed = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Compile a manifest of specifications through the persistent \
+             compile cache")
+    Term.(const run $ manifest $ gen $ jobs_arg $ cache_dir $ no_cache
+          $ warm $ manifest_out $ ppa_out $ trace_flag)
+
 (* ---------------- experiments ---------------- *)
 
 let exp_cmd =
@@ -185,16 +314,31 @@ let exp_cmd =
          & info [ "j"; "jobs" ]
              ~doc:"Worker domains for the parallel sweeps (default: the                    SYNDCIM_JOBS environment variable, then the number of                    cores).")
   in
-  let run which quick jobs =
+  let exp_cache =
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"Reuse the persistent compile cache for the harness                    compiles that support it (fig8's implemented designs).")
+  in
+  let run which quick jobs cache_dir =
     let lib = Library.n40 () in
     let scl = Scl.create lib in
+    let disk_cache =
+      match cache_dir with
+      | None -> None
+      | Some dir -> (
+          match Disk_cache.open_root dir with
+          | Ok c -> Some c
+          | Error msg ->
+              Printf.printf "warning[batch]: %s — running uncached\n" msg;
+              None)
+    in
     let want name = match which with None -> true | Some w -> w = name in
     if want "table1" then ignore (Table1.run lib scl);
     if want "fig7" then begin
       let dims = if quick then [ 32; 64 ] else [ 32; 64; 128; 256 ] in
       Fig7.print (Fig7.run ~dims ?jobs lib scl)
     end;
-    if want "fig8" then Fig8.print (Fig8.run ?jobs lib scl);
+    if want "fig8" then Fig8.print (Fig8.run ?jobs ?disk_cache lib scl);
     if want "fig9" then begin
       let a = Pipeline.artifact_exn (Pipeline.run lib scl Spec.fig8) in
       Fig9.print (Fig9.run ?jobs lib a)
@@ -211,7 +355,7 @@ let exp_cmd =
     0
   in
   Cmd.v (Cmd.info "exp" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ which $ quick $ jobs_arg)
+    Term.(const run $ which $ quick $ jobs_arg $ exp_cache)
 
 (* ---------------- verify ---------------- *)
 
@@ -321,4 +465,5 @@ let () =
   let info = Cmd.info "syndcim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ compile_cmd; exp_cmd; verify_cmd; library_cmd ]))
+       (Cmd.group info
+          [ compile_cmd; batch_cmd; exp_cmd; verify_cmd; library_cmd ]))

@@ -476,6 +476,170 @@ let artifact_exn = function
   | Error d -> raise (Diag.Failed d)
 
 (* ------------------------------------------------------------------ *)
+(* Cached driver (persistent compile cache)                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Name of the pseudo-stage the cached driver traces: one row per
+    lookup, carrying the hit/miss counters for this compilation. *)
+let stage_cache = "cache"
+
+(** How the persistent cache participated in a compilation. *)
+type cache_outcome =
+  | Cache_off  (** no cache was given *)
+  | Cache_hit  (** served from the store; no stage ran *)
+  | Cache_miss  (** compiled, result stored *)
+  | Cache_corrupt of string
+      (** an entry existed but failed integrity checks; compiled and the
+          entry was replaced — the reason is the integrity failure *)
+
+(** Metrics-level result of a (possibly cached) compilation: everything
+    the batch driver reports, with no netlist or layout attached — a
+    cache hit reconstructs it without running any stage. *)
+type summary = {
+  sum_spec : Spec.t;
+  sum_metrics : metrics;
+  sum_timing_closed : bool;
+  sum_insts : int;  (** netlist instance count *)
+  sum_nets : int;
+  sum_attempts : int;  (** pipeline attempts (1 + retries) *)
+  sum_boost : float;  (** boost the winning attempt ran under *)
+  sum_cache : cache_outcome;
+}
+
+let summary_of_run (r : run) : summary =
+  let a = r.artifact in
+  {
+    sum_spec = a.spec;
+    sum_metrics = a.metrics;
+    sum_timing_closed = a.timing_closed;
+    sum_insts = Ir.n_insts a.macro.Macro_rtl.design;
+    sum_nets = a.macro.Macro_rtl.design.Ir.n_nets;
+    sum_attempts = List.length r.attempts;
+    sum_boost =
+      (match List.rev r.attempts with
+      | last :: _ -> last.attempt_boost
+      | [] -> 1.0);
+    sum_cache = Cache_off;
+  }
+
+let cache_value_of_summary (s : summary) : Disk_cache.value =
+  let m = s.sum_metrics in
+  {
+    Disk_cache.spec_desc = Spec.describe s.sum_spec;
+    crit_ps = m.crit_ps;
+    fmax_ghz = m.fmax_ghz;
+    power_w = m.power_w;
+    area_mm2 = m.area_mm2;
+    tops = m.tops;
+    tops_per_w = m.tops_per_w;
+    tops_per_mm2 = m.tops_per_mm2;
+    ops_norm = m.ops_norm;
+    timing_closed = s.sum_timing_closed;
+    insts = s.sum_insts;
+    nets = s.sum_nets;
+    attempts = s.sum_attempts;
+    boost = s.sum_boost;
+  }
+
+let summary_of_cache_value (spec : Spec.t) (v : Disk_cache.value) : summary =
+  {
+    sum_spec = spec;
+    sum_metrics =
+      {
+        crit_ps = v.Disk_cache.crit_ps;
+        fmax_ghz = v.Disk_cache.fmax_ghz;
+        power_w = v.Disk_cache.power_w;
+        area_mm2 = v.Disk_cache.area_mm2;
+        tops = v.Disk_cache.tops;
+        tops_per_w = v.Disk_cache.tops_per_w;
+        tops_per_mm2 = v.Disk_cache.tops_per_mm2;
+        ops_norm = v.Disk_cache.ops_norm;
+      };
+    sum_timing_closed = v.Disk_cache.timing_closed;
+    sum_insts = v.Disk_cache.insts;
+    sum_nets = v.Disk_cache.nets;
+    sum_attempts = v.Disk_cache.attempts;
+    sum_boost = v.Disk_cache.boost;
+    sum_cache = Cache_hit;
+  }
+
+(** Pipeline-level inputs to the cache key: the floorplan style and the
+    retry policy both steer the compiled result, so they version the key
+    alongside {!Searcher.algorithm_version}. *)
+let cache_algo_tag ~style (p : policy) : string =
+  Printf.sprintf "%s|style=%s|policy=v%b,r%b,mb%h,bs%h,eco%d"
+    Searcher.algorithm_version (Floorplan.style_name style) p.verify p.retry
+    p.max_boost p.boost_step p.max_eco_iters
+
+let add_cache_row trace ~ok ~wall_ms ~cells ~crit_out_ps ~hit ~boost ~note =
+  match trace with
+  | None -> ()
+  | Some tr ->
+      Trace.add tr
+        {
+          Trace.stage = stage_cache;
+          ok;
+          wall_ms;
+          cells;
+          crit_in_ps = None;
+          crit_out_ps;
+          cache_hits = Some (if hit then 1 else 0);
+          cache_misses = Some (if hit then 0 else 1);
+          eco_iters = None;
+          boost;
+          note;
+        }
+
+(** [run_cached ?style ?policy ?trace ?inject ?cache lib scl spec] —
+    {!run} behind the persistent compile cache. With [cache] given, the
+    spec's content address is looked up first: a hit skips every stage
+    and reconstructs the {!summary} from the store (appending a single
+    [cache] trace row); a miss — including a corrupt entry, which is
+    diagnosed but never fatal — runs the full pipeline and stores the
+    result. Without [cache] this is exactly [run] plus summarization. *)
+let run_cached ?(style = Floorplan.Sdp) ?(policy = default_policy) ?trace
+    ?inject ?cache lib scl (spec : Spec.t) : (summary, Diag.t) Stdlib.result
+    =
+  match cache with
+  | None ->
+      let* r = run ~style ~policy ?trace ?inject lib scl spec in
+      Ok (summary_of_run r)
+  | Some dc -> (
+      let t0 = Unix.gettimeofday () in
+      let k =
+        Disk_cache.key
+          ~lib_fp:(Disk_cache.library_fingerprint lib)
+          ~algo:(cache_algo_tag ~style policy)
+          spec
+      in
+      let short = String.sub k 0 12 in
+      let looked = Disk_cache.lookup dc k in
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      match looked with
+      | Disk_cache.Hit v ->
+          add_cache_row trace ~ok:true ~wall_ms
+            ~cells:(Some v.Disk_cache.insts)
+            ~crit_out_ps:(Some v.Disk_cache.crit_ps) ~hit:true
+            ~boost:(Some v.Disk_cache.boost)
+            ~note:(Printf.sprintf "hit %s (all stages skipped)" short);
+          Ok (summary_of_cache_value spec v)
+      | (Disk_cache.Miss | Disk_cache.Corrupt _) as l ->
+          let outcome, note =
+            match l with
+            | Disk_cache.Corrupt reason ->
+                ( Cache_corrupt reason,
+                  Printf.sprintf "corrupt entry %s (%s): recompiling" short
+                    reason )
+            | _ -> (Cache_miss, Printf.sprintf "miss %s" short)
+          in
+          add_cache_row trace ~ok:true ~wall_ms ~cells:None ~crit_out_ps:None
+            ~hit:false ~boost:None ~note;
+          let* r = run ~style ~policy ?trace ?inject lib scl spec in
+          let s = { (summary_of_run r) with sum_cache = outcome } in
+          Disk_cache.store dc k (cache_value_of_summary s);
+          Ok s)
+
+(* ------------------------------------------------------------------ *)
 (* Stage-level entry points for the experiment harnesses               *)
 (* ------------------------------------------------------------------ *)
 

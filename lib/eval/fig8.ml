@@ -10,7 +10,9 @@
 
 type selected = {
   preference : string;
-  artifact : Pipeline.artifact;
+  summary : Pipeline.summary;
+      (** metrics-level result: served from the persistent compile cache
+          when [run] is given one *)
 }
 
 type result = {
@@ -22,12 +24,14 @@ type result = {
       (** hit/miss counters of the sweep's shared evaluation cache *)
 }
 
-(** [run ?jobs ?trace lib scl] — the sweep fans out over a domain pool
-    and the four selected designs go through the staged pipeline in
-    parallel as well; each back-end compile searches its own
+(** [run ?jobs ?trace ?disk_cache lib scl] — the sweep fans out over a
+    domain pool and the four selected designs go through the staged
+    pipeline in parallel as well; each back-end compile searches its own
     configuration, so they share no mutable state. [trace] collects the
-    baseline evaluations' stage rows. *)
-let run ?jobs ?trace lib scl =
+    baseline evaluations' stage rows; [disk_cache] lets a repeated
+    harness run serve the four implemented designs straight from the
+    persistent compile cache. *)
+let run ?jobs ?trace ?disk_cache lib scl =
   let spec = Spec.fig8 in
   let cache = Eval_cache.create () in
   let frontier, cloud = Searcher.pareto_sweep ?jobs ~cache lib scl spec in
@@ -36,9 +40,13 @@ let run ?jobs ?trace lib scl =
       (fun preference ->
         {
           preference = Spec.preference_name preference;
-          artifact =
-            Pipeline.artifact_exn
-              (Pipeline.run lib scl { spec with Spec.preference });
+          summary =
+            (match
+               Pipeline.run_cached ?cache:disk_cache lib scl
+                 { spec with Spec.preference }
+             with
+            | Ok s -> s
+            | Error d -> raise (Diag.Failed d));
         })
       [
         Spec.Prefer_power; Spec.Prefer_area; Spec.Prefer_performance;
@@ -88,13 +96,14 @@ let print (r : result) =
   let rows =
     List.map
       (fun s ->
-        let m = s.artifact.Pipeline.metrics in
+        let m = s.summary.Pipeline.sum_metrics in
         [
           s.preference;
           Table.f (m.Pipeline.power_w *. 1e3);
           Table.f ~digits:4 m.Pipeline.area_mm2;
           Table.f m.Pipeline.fmax_ghz;
-          (if s.artifact.Pipeline.timing_closed then "closed" else "missed");
+          (if s.summary.Pipeline.sum_timing_closed then "closed"
+           else "missed");
         ])
       r.implemented
   in

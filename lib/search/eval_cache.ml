@@ -16,6 +16,12 @@
 
 type stats = { hits : int; misses : int }
 
+let zero_stats = { hits = 0; misses = 0 }
+
+(** [combine_stats a b] — counter totals, for rolling per-attempt or
+    per-spec stats up into sweep and batch aggregates. *)
+let combine_stats a b = { hits = a.hits + b.hits; misses = a.misses + b.misses }
+
 let shard_count = 16
 
 type t = {

@@ -44,6 +44,13 @@ let technique_name = function
   | Fuse_sa_ofu -> "latency: fuse S&A with OFU (drop register)"
   | Ft_substitute s -> Printf.sprintf "ft: substitute %s" s
 
+(** Version tag of the search algorithm, folded into the persistent
+    compile-cache key ({!Disk_cache}). Bump it whenever a change to the
+    technique ladders, the evaluation model or the walk order can alter
+    which design a spec compiles to, so a newer searcher never serves a
+    stale cached result. *)
+let algorithm_version = "mso-hhs-1"
+
 type result = {
   spec : Spec.t;
   final : Design_point.t;

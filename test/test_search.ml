@@ -206,6 +206,85 @@ let test_cache_preference_shared () =
     (Eval_cache.key s cfg)
     (Eval_cache.key { s with Spec.preference = Spec.Prefer_area } cfg)
 
+let test_cache_stats_arithmetic () =
+  Alcotest.(check int) "zero hits" 0 Eval_cache.zero_stats.Eval_cache.hits;
+  Alcotest.(check int) "zero misses" 0 Eval_cache.zero_stats.Eval_cache.misses;
+  let c =
+    Eval_cache.combine_stats
+      { Eval_cache.hits = 3; misses = 5 }
+      { Eval_cache.hits = 4; misses = 7 }
+  in
+  Alcotest.(check int) "combined hits" 7 c.Eval_cache.hits;
+  Alcotest.(check int) "combined misses" 12 c.Eval_cache.misses;
+  (* folding with the zero element is how batch rolls per-spec stats up *)
+  let folded =
+    List.fold_left Eval_cache.combine_stats Eval_cache.zero_stats
+      [
+        { Eval_cache.hits = 1; misses = 0 };
+        { Eval_cache.hits = 0; misses = 2 };
+        { Eval_cache.hits = 5; misses = 5 };
+      ]
+  in
+  Alcotest.(check int) "folded hits" 6 folded.Eval_cache.hits;
+  Alcotest.(check int) "folded misses" 7 folded.Eval_cache.misses
+
+let test_cache_keys_distinct_over_lattice () =
+  (* every lattice configuration must key differently: a collision would
+     silently alias two candidates and corrupt the sweep *)
+  let s = spec () in
+  let keys = List.map (Eval_cache.key s) (Searcher.exploration_lattice s) in
+  Alcotest.(check int)
+    "no key collisions" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_cache_describe () =
+  Alcotest.(check string)
+    "hit-rate line"
+    "eval cache: 3 hits / 1 misses (75 % hit rate)"
+    (Eval_cache.describe { Eval_cache.hits = 3; misses = 1 });
+  (* the empty cache must not divide by zero *)
+  Alcotest.(check string)
+    "zero-total line" "eval cache: 0 hits / 0 misses (0 % hit rate)"
+    (Eval_cache.describe Eval_cache.zero_stats)
+
+let test_cache_no_eviction () =
+  (* the per-sweep cache is unbounded by design: every distinct config
+     stays resident (spread across shards) and revisits always hit *)
+  let s = spec ~freq:500e6 () in
+  let cfgs = Searcher.exploration_lattice s in
+  let cache = Eval_cache.create () in
+  List.iter (fun cfg -> ignore (Eval_cache.evaluate cache lib s cfg)) cfgs;
+  Alcotest.(check int)
+    "every insert resident" (List.length cfgs) (Eval_cache.size cache);
+  List.iter (fun cfg -> ignore (Eval_cache.evaluate cache lib s cfg)) cfgs;
+  let st = Eval_cache.stats cache in
+  Alcotest.(check int) "revisits all hit" (List.length cfgs) st.Eval_cache.hits;
+  Alcotest.(check int)
+    "size unchanged by revisits" (List.length cfgs) (Eval_cache.size cache)
+
+let test_cache_concurrent_evaluate () =
+  (* domains racing on one key: each call counts exactly one hit or miss,
+     one entry survives, and every caller gets the stored point *)
+  let cache = Eval_cache.create () in
+  let s = spec ~freq:500e6 () in
+  let cfg = Spec.initial_config s in
+  let points =
+    Pool.parallel_map ~jobs:4
+      (fun _ -> Eval_cache.evaluate cache lib s cfg)
+      (List.init 8 Fun.id)
+  in
+  let st = Eval_cache.stats cache in
+  Alcotest.(check int)
+    "every call accounted" 8
+    (st.Eval_cache.hits + st.Eval_cache.misses);
+  Alcotest.(check int) "single entry" 1 (Eval_cache.size cache);
+  match points with
+  | first :: rest ->
+      List.iter
+        (fun p -> check_bool "all callers share the stored point" true (p == first))
+        rest
+  | [] -> Alcotest.fail "pool returned nothing"
+
 let test_lattice_legality () =
   let cfgs = Searcher.exploration_lattice (spec ()) in
   check_bool "non-trivial lattice" true (List.length cfgs >= 8);
@@ -260,5 +339,13 @@ let () =
             test_cache_distinct_operating_points;
           Alcotest.test_case "preference shares entries" `Quick
             test_cache_preference_shared;
+          Alcotest.test_case "stats arithmetic" `Quick
+            test_cache_stats_arithmetic;
+          Alcotest.test_case "lattice keys distinct" `Quick
+            test_cache_keys_distinct_over_lattice;
+          Alcotest.test_case "describe" `Quick test_cache_describe;
+          Alcotest.test_case "no eviction" `Quick test_cache_no_eviction;
+          Alcotest.test_case "concurrent evaluate" `Quick
+            test_cache_concurrent_evaluate;
         ] );
     ]
