@@ -50,7 +50,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_results ~jobs ~seq_s ~par_s =
+let write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps =
   let b = Buffer.create 4096 in
   let entry (name, v) =
     Printf.sprintf "    {\"name\": \"%s\", \"value\": %.6g}" (json_escape name) v
@@ -68,6 +68,13 @@ let write_results ~jobs ~seq_s ~par_s =
         \"speedup\": %.6g},\n"
        seq_s par_s
        (if par_s > 0.0 then seq_s /. par_s else 0.0));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"packed_sim\": {\"lanes\": %d, \"scalar_lane_cps\": %.6g, \
+        \"packed_lane_cps\": %.6g, \"speedup\": %.6g},\n"
+       Sim_packed.lanes packed_scalar_cps packed_cps
+       (if packed_scalar_cps > 0.0 then packed_cps /. packed_scalar_cps
+        else 0.0));
   Buffer.add_string b "  \"kernels_ns_per_run\": [\n";
   Buffer.add_string b
     (String.concat ",\n" (List.map entry (List.rev !kernel_times)));
@@ -149,6 +156,68 @@ let () =
   if (f1, c1) <> (fn, cn) then
     failwith "parallel sweep disagrees with sequential sweep";
 
+  (* ---------------- packed simulation throughput ---------------- *)
+  banner
+    (Printf.sprintf
+       "Packed simulation — scalar vs %d-lane bit-sliced MAC streaming"
+       Sim_packed.lanes);
+  (* throughput unit: simulated lane-cycles per second — the scalar
+     engine advances 1 lane per cycle, the packed engine 63. Best of
+     three runs on the smallest canonical macro, so the CI bound stays
+     meaningful on a noisy shared runner. *)
+  let packed_scalar_cps, packed_cps =
+    let m =
+      Macro_rtl.build lib
+        (Macro_rtl.default ~rows:16 ~cols:16 ~mcr:1
+           ~input_prec:Precision.int8 ~weight_prec:Precision.int8)
+    in
+    let macs = if quick then 200 else 500 in
+    let best_of n f =
+      let best = ref infinity and cycles = ref 0 in
+      for _ = 1 to n do
+        let t0 = Unix.gettimeofday () in
+        cycles := f ();
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt
+      done;
+      (float_of_int !cycles, !best)
+    in
+    let rng = Rng.create 0xB175 in
+    let scalar_sim = Sim.create m.Macro_rtl.design in
+    Testbench.load_weights m scalar_sim ~copy:0
+      (Testbench.random_weights rng m ~density:0.5);
+    let scalar_cycles, scalar_s =
+      best_of 3 (fun () ->
+          Sim.reset_stats scalar_sim;
+          Testbench.run_stream m scalar_sim ~rng ~macs ~input_density:0.5;
+          scalar_sim.Sim.cycles)
+    in
+    let psim = Sim_packed.create m.Macro_rtl.design in
+    Testbench.load_weights_lanes m psim ~copy:0
+      (Array.init Sim_packed.lanes (fun _ ->
+           Testbench.random_weights rng m ~density:0.5));
+    let packed_cycles, packed_s =
+      best_of 3 (fun () ->
+          Sim_packed.reset_stats psim;
+          Testbench.run_stream_packed m psim ~rng ~macs ~input_density:0.5;
+          psim.Sim_packed.cycles)
+    in
+    let scalar_cps = scalar_cycles /. scalar_s in
+    let packed_cps =
+      packed_cycles *. float_of_int Sim_packed.lanes /. packed_s
+    in
+    Printf.printf
+      "16x16 INT8, %d MACs/run, best of 3:\n\
+      \  scalar: %.0f cycles in %.3f s  = %.3g lane-cycles/s\n\
+      \  packed: %.0f cycles x %d lanes in %.3f s = %.3g lane-cycles/s\n\
+       speedup: %.1fx\n\
+       %!"
+      macs scalar_cycles scalar_s scalar_cps packed_cycles Sim_packed.lanes
+      packed_s packed_cps
+      (packed_cps /. scalar_cps);
+    (scalar_cps, packed_cps)
+  in
+
   (* ---------------- Bechamel kernels ---------------- *)
   banner "Bechamel — compiler kernel microbenchmarks";
   let open Bechamel in
@@ -213,5 +282,5 @@ let () =
           | Some _ | None -> Printf.printf "  %-36s (no estimate)\n%!" name)
         results)
     tests;
-  write_results ~jobs ~seq_s ~par_s;
+  write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps;
   Printf.printf "\nbench: all experiments regenerated.\n"

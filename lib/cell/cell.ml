@@ -158,6 +158,63 @@ let eval_into k (ins : bool array) (outs : bool array) : unit =
   | Dff | Dff_en | Sram _ ->
       invalid_arg "Cell.eval: sequential/storage cell"
 
+(** [eval_word_into k ins outs] is {!eval_into} on bit-sliced words: every
+    input and output [int] carries one simulation lane per bit, and the
+    cell function is applied to all lanes at once with bitwise ops. The
+    XOR/majority identities make every arithmetic cell a handful of
+    word ops: [maj3 a b c = (a&b) | (a&c) | (b&c)], a mux is
+    [(sel&b) | (~sel&a)]. Complemented outputs may carry set bits above
+    the caller's active lanes; the packed simulator masks on commit. *)
+let eval_word_into k (ins : int array) (outs : int array) : unit =
+  match k with
+  | Inv -> outs.(0) <- lnot ins.(0)
+  | Buf -> outs.(0) <- ins.(0)
+  | Nand2 -> outs.(0) <- lnot (ins.(0) land ins.(1))
+  | Nor2 -> outs.(0) <- lnot (ins.(0) lor ins.(1))
+  | And2 -> outs.(0) <- ins.(0) land ins.(1)
+  | Or2 -> outs.(0) <- ins.(0) lor ins.(1)
+  | Xor2 -> outs.(0) <- ins.(0) lxor ins.(1)
+  | Xnor2 -> outs.(0) <- lnot (ins.(0) lxor ins.(1))
+  | Mux2 | Tgmux2 | Ptmux2 ->
+      let sel = ins.(2) in
+      outs.(0) <- (sel land ins.(1)) lor (lnot sel land ins.(0))
+  | Aoi22 -> outs.(0) <- lnot ((ins.(0) land ins.(1)) lor (ins.(2) land ins.(3)))
+  | Oai22 -> outs.(0) <- lnot ((ins.(0) lor ins.(1)) land (ins.(2) lor ins.(3)))
+  | Ha ->
+      outs.(0) <- ins.(0) lxor ins.(1);
+      outs.(1) <- ins.(0) land ins.(1)
+  | Fa ->
+      let a = ins.(0) and b = ins.(1) and c = ins.(2) in
+      outs.(0) <- a lxor b lxor c;
+      outs.(1) <- (a land b) lor (a land c) lor (b land c)
+  | Comp42 ->
+      let a = ins.(0) and b = ins.(1) and c = ins.(2) in
+      let d = ins.(3) and cin = ins.(4) in
+      let s1 = a lxor b lxor c in
+      let co = (a land b) lor (a land c) lor (b land c) in
+      outs.(0) <- s1 lxor d lxor cin;
+      outs.(1) <- (s1 land d) lor (s1 land cin) lor (d land cin);
+      outs.(2) <- co
+  | Mul (Tg_nor | Pass_1t) -> outs.(0) <- ins.(0) land ins.(1)
+  | Mul Oai22_fused ->
+      let sel = ins.(3) in
+      outs.(0) <- ins.(0) land ((sel land ins.(2)) lor (lnot sel land ins.(1)))
+  | Dff | Dff_en | Sram _ ->
+      invalid_arg "Cell.eval_word: sequential/storage cell"
+
+(** [eval_word k ins] — allocating form of {!eval_word_into}, mirroring
+    {!eval}. Hot loops use {!eval_word_into} with preallocated buffers. *)
+let eval_word k (ins : int array) : int array =
+  (match k with
+  | Dff | Dff_en | Sram _ ->
+      invalid_arg "Cell.eval_word: sequential/storage cell"
+  | _ ->
+      if Array.length ins <> n_inputs k then
+        invalid_arg "Cell.eval_word: arity mismatch");
+  let outs = Array.make (n_outputs k) 0 in
+  eval_word_into k ins outs;
+  outs
+
 (** [eval k ins] computes the combinational function of kind [k]. For
     sequential and storage kinds this is the identity on the held state and
     must not be called by the simulator's combinational phase. Allocates

@@ -68,12 +68,16 @@ let set_bus_bits t name bits =
   assert (Array.length bits = Array.length bus);
   Array.iteri (fun i net -> set_net t net bits.(i)) bus
 
-(** [read_bus t name] reads the named output bus as an unsigned integer. *)
+(** [read_bus t name] reads the named output bus as an unsigned integer.
+    Allocation-free: it runs once per result group per MAC in the bench
+    hot path. *)
 let read_bus t name =
   let bus = Ir.output_bus t.d.src name in
-  Array.to_list bus
-  |> List.mapi (fun i net -> if t.values.(net) then 1 lsl i else 0)
-  |> List.fold_left ( lor ) 0
+  let v = ref 0 in
+  for i = 0 to Array.length bus - 1 do
+    if t.values.(bus.(i)) then v := !v lor (1 lsl i)
+  done;
+  !v
 
 (** [read_bus_signed t name] reads the named output bus as a signed
     two's-complement integer. *)

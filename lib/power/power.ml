@@ -33,14 +33,21 @@ let tag_label = function
   | Ir.Pipeline_reg _ -> "pipeline"
   | Ir.Plain -> "other"
 
-(** [estimate d lib sim ~freq_hz ~vdd ?wire_cap ?loads ()] converts the
-    toggle statistics of a finished simulation into a power report at the
-    given operating point. [sim] must have run at least one cycle.
+(** [estimate_activity d lib ~toggles ~en_cycles ~cycles ~weight_flips
+    ~freq_hz ~vdd ?wire_cap ?loads ()] converts raw switching-activity
+    counters into a power report at the given operating point. This is
+    the accounting core both simulators share: the scalar {!Sim} passes
+    its counters through {!estimate}; the bit-sliced {!Sim_packed} passes
+    lane-summed counters with [cycles] inflated by the lane count
+    ({!estimate_packed}), which yields the *average* power of one macro
+    replica over the whole lane ensemble. [cycles] must be positive.
     [loads] is the per-net fanout-load map ({!Ir.fanout_loads}); pass the
     one the timing pass already computed to avoid rebuilding it here. *)
-let estimate (d : Ir.design) (lib : Library.t) (sim : Sim.t) ~freq_hz ~vdd
+let estimate_activity (d : Ir.design) (lib : Library.t)
+    ~(toggles : int array) ~(en_cycles : int array) ~(cycles : int)
+    ~(weight_flips : int) ~freq_hz ~vdd
     ?(wire_cap = fun (_ : Ir.net) -> 0.0) ?loads () =
-  assert (sim.Sim.cycles > 0);
+  assert (cycles > 0);
   let loads =
     match loads with
     | Some l -> l
@@ -72,11 +79,11 @@ let estimate (d : Ir.design) (lib : Library.t) (sim : Sim.t) ~freq_hz ~vdd
             let fj = float_of_int count *. per_toggle in
             sw_fj := !sw_fj +. fj;
             add_sub inst.tag fj)
-    sim.Sim.toggles;
+    toggles;
   (* clock network: plain flip-flops see every edge; enabled flip-flops
      sit behind integrated clock gates and are only charged for their
      enabled cycles *)
-  let cycles = float_of_int sim.Sim.cycles in
+  let cycles = float_of_int cycles in
   let clk_fj =
     Array.fold_left
       (fun acc i ->
@@ -84,14 +91,14 @@ let estimate (d : Ir.design) (lib : Library.t) (sim : Sim.t) ~freq_hz ~vdd
         let p = Library.params lib inst.kind inst.drive in
         let active =
           match inst.kind with
-          | Cell.Dff_en -> float_of_int sim.Sim.en_cycles.(i)
+          | Cell.Dff_en -> float_of_int en_cycles.(i)
           | _ -> cycles
         in
         acc +. (p.clock_energy_fj *. esc *. clock_tree_factor *. active))
       0.0 d.seq
   in
   (* weight updates through the BL drivers *)
-  let wr_fj = float_of_int sim.Sim.weight_flips *. sram_write_fj *. esc in
+  let wr_fj = float_of_int weight_flips *. sram_write_fj *. esc in
   let time_s = cycles /. freq_hz in
   let to_w fj = fj *. 1e-15 /. time_s in
   let leak_nw =
@@ -117,3 +124,27 @@ let estimate (d : Ir.design) (lib : Library.t) (sim : Sim.t) ~freq_hz ~vdd
       Hashtbl.fold (fun k fj acc -> (k, to_w fj) :: acc) sub []
       |> List.sort (fun (a, _) (b, _) -> compare a b);
   }
+
+(** [estimate d lib sim ~freq_hz ~vdd ?wire_cap ?loads ()] — the scalar
+    entry point: the toggle statistics of a finished {!Sim} run. [sim]
+    must have run at least one cycle. *)
+let estimate (d : Ir.design) (lib : Library.t) (sim : Sim.t) ~freq_hz ~vdd
+    ?wire_cap ?loads () =
+  estimate_activity d lib ~toggles:sim.Sim.toggles
+    ~en_cycles:sim.Sim.en_cycles ~cycles:sim.Sim.cycles
+    ~weight_flips:sim.Sim.weight_flips ~freq_hz ~vdd ?wire_cap ?loads ()
+
+(** [estimate_packed d lib psim ~freq_hz ~vdd ?wire_cap ?loads ()] — the
+    bit-sliced entry point: a finished {!Sim_packed} run is an ensemble
+    of [lanes_of psim] independent replicas, so its lane-summed toggle /
+    enable / flip counters are divided by the ensemble by charging them
+    against [lanes × cycles] effective cycles. The report is the average
+    power of one replica — the Monte Carlo estimate the search loop
+    wants, converged over 63× the sample mass per simulated cycle. *)
+let estimate_packed (d : Ir.design) (lib : Library.t) (psim : Sim_packed.t)
+    ~freq_hz ~vdd ?wire_cap ?loads () =
+  estimate_activity d lib ~toggles:psim.Sim_packed.toggles
+    ~en_cycles:psim.Sim_packed.en_cycles
+    ~cycles:(psim.Sim_packed.cycles * Sim_packed.lanes_of psim)
+    ~weight_flips:psim.Sim_packed.weight_flips ~freq_hz ~vdd ?wire_cap
+    ?loads ()

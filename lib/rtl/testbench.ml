@@ -239,6 +239,97 @@ let verify (m : Macro_rtl.t) ~seed ~batches =
     done
   done
 
+(* ---------------- bit-sliced (packed) bench path ---------------- *)
+
+(** [set_controls_packed sim ~load ~sa_en ~sa_clr ~sa_neg] — the packed
+    mirror of {!set_controls}: one MAC schedule broadcast to every lane. *)
+let set_controls_packed sim ~load ~sa_en ~sa_clr ~sa_neg =
+  Sim_packed.set_bus sim "load" (if load then 1 else 0);
+  Sim_packed.set_bus sim "sa_en" (if sa_en then 1 else 0);
+  Sim_packed.set_bus sim "sa_clr" (if sa_clr then 1 else 0);
+  Sim_packed.set_bus sim "sa_neg" (if sa_neg then 1 else 0)
+
+(** [present_inputs_lanes m sim inputs] drives every row bus with a
+    distinct word per lane: [inputs.(lane).(row)]. *)
+let present_inputs_lanes (m : Macro_rtl.t) sim
+    (inputs : int array array) =
+  let n = Array.length inputs in
+  assert (n >= 1 && n <= Sim_packed.lanes_of sim);
+  Array.iter (fun per_row -> assert (Array.length per_row = m.cfg.rows))
+    inputs;
+  let per_lane = Array.make n 0 in
+  for r = 0 to m.cfg.rows - 1 do
+    for l = 0 to n - 1 do
+      per_lane.(l) <- inputs.(l).(r)
+    done;
+    Sim_packed.set_bus_lanes sim (Printf.sprintf "x%d" r) per_lane
+  done
+
+(** [load_weights_lanes m sim ~copy weights] writes
+    [weights.(lane).(word).(row)] (signed [wb]-bit integers) into weight
+    copy [copy], a different weight matrix per lane. Lanes beyond
+    [Array.length weights] store lane 0's weights (a harmless fill:
+    their outputs are never compared). *)
+let load_weights_lanes (m : Macro_rtl.t) sim ~copy
+    (weights : int array array array) =
+  let n = Array.length weights in
+  assert (n >= 1 && n <= Sim_packed.lanes_of sim);
+  Array.iter
+    (fun per_word ->
+      assert (Array.length per_word = m.words);
+      Array.iter
+        (fun per_row -> assert (Array.length per_row = m.cfg.rows))
+        per_word)
+    weights;
+  let n_lanes = Sim_packed.lanes_of sim in
+  for g = 0 to m.words - 1 do
+    for r = 0 to m.cfg.rows - 1 do
+      for j = 0 to m.wb - 1 do
+        let w = ref 0 in
+        for l = 0 to n_lanes - 1 do
+          let src = weights.(if l < n then l else 0) in
+          w := !w lor (((src.(g).(r) asr j) land 1) lsl l)
+        done;
+        Sim_packed.set_weight sim ~row:r ~col:((g * m.wb) + j) ~copy !w
+      done
+    done
+  done
+
+(** [run_stream_packed m sim ~rng ~macs ~input_density] — the bit-sliced
+    mirror of {!run_stream}: [macs] back-to-back MACs at full pipeline
+    rate in every lane, with an independent random input stream per lane.
+    One packed run gathers [lanes_of sim ×] the toggle sample mass of a
+    scalar {!run_stream} of the same length — the power Monte Carlo
+    fan-out. Weights must already be loaded ({!load_weights_lanes});
+    statistics should be read from [sim] afterwards
+    ({!Power.estimate_packed}). *)
+let run_stream_packed (m : Macro_rtl.t) sim ~rng ~macs ~input_density =
+  let db = m.db in
+  let n_lanes = Sim_packed.lanes_of sim in
+  let total = m.align_lat + (macs * db) + m.tree_lat + m.post_lat + 1 in
+  for cyc = 0 to total - 1 do
+    if cyc mod db = 0 && cyc / db < macs then
+      present_inputs_lanes m sim
+        (Array.init n_lanes (fun _ ->
+             Array.init m.cfg.rows (fun _ ->
+                 random_input ~realistic:true rng m ~density:input_density)));
+    let load = cyc >= m.align_lat && (cyc - m.align_lat) mod db = 0
+               && (cyc - m.align_lat) / db < macs in
+    let k = cyc - m.align_lat - 1 - m.tree_lat in
+    let first_fill = m.align_lat + 1 + m.tree_lat in
+    let sa_en = cyc >= first_fill && k < macs * db in
+    let sa_clr = sa_en && k mod db = 0 in
+    let sa_neg =
+      sa_en && db > 1
+      && k mod db = (if m.neg_on_last then db - 1 else 0)
+    in
+    if is_fp m then
+      Sim_packed.set_bus sim "align_en"
+        (if cyc mod db < max m.align_lat 1 && cyc / db < macs then 1 else 0);
+    set_controls_packed sim ~load ~sa_en ~sa_clr ~sa_neg;
+    Sim_packed.step sim
+  done
+
 (** [run_stream m sim ~rng ~macs ~input_density] issues [macs] back-to-back
     MACs at full pipeline rate (one per [db] cycles) for power
     measurement; weights must already be loaded. Statistics should be read

@@ -51,6 +51,26 @@ let measure_power ?(seed = 0xD1C) ?loads lib (m : Macro_rtl.t) ~freq_hz ~vdd
   Testbench.run_stream m sim ~rng ~macs ~input_density;
   Power.estimate m.design lib sim ~freq_hz ~vdd ?loads ()
 
+(** [measure_power_packed lib m ~freq_hz ~vdd ~input_density
+    ~weight_density ~macs] — the bit-sliced Monte Carlo form of
+    {!measure_power}: one {!Sim_packed} run streams [macs] MACs in
+    [n_lanes] (default all 63) concurrent replicas, each with its own
+    random weights and input stream, and the lane-summed toggle
+    statistics fold into the standard accounting as the average power of
+    one replica ({!Power.estimate_packed}). Same simulated cycle count,
+    [n_lanes ×] the sample mass. *)
+let measure_power_packed ?(seed = 0xD1C) ?loads ?n_lanes lib
+    (m : Macro_rtl.t) ~freq_hz ~vdd ~input_density ~weight_density ~macs =
+  let rng = Rng.create seed in
+  let sim = Sim_packed.create ?n_lanes m.Macro_rtl.design in
+  if m.cfg.mcr > 1 then Sim_packed.set_bus sim "copy_sel" 0;
+  Testbench.load_weights_lanes m sim ~copy:0
+    (Array.init (Sim_packed.lanes_of sim) (fun _ ->
+         Testbench.random_weights rng m ~density:weight_density));
+  Sim_packed.reset_stats sim;
+  Testbench.run_stream_packed m sim ~rng ~macs ~input_density;
+  Power.estimate_packed m.design lib sim ~freq_hz ~vdd ?loads ()
+
 (** [evaluate lib spec cfg] builds and measures one candidate. *)
 let evaluate (lib : Library.t) (spec : Spec.t) (cfg : Macro_rtl.config) : t =
   let macro = Macro_rtl.build lib cfg in

@@ -54,3 +54,20 @@ let truncate_bits ~width v = v land (pow2 width - 1)
 let bits_for_unsigned n =
   assert (n >= 0);
   if n = 0 then 1 else floor_log2 n + 1
+
+(** [popcount w] is the number of set bits in [w], counted over the full
+    native word (negative values count their two's-complement bits).
+    SWAR: the bit-sliced simulator calls this once per net per cycle, so
+    it must not loop over bits. *)
+let popcount w =
+  (* the sign bit is counted separately so the SWAR body runs on a
+     non-negative 62-bit payload *)
+  let top = if w < 0 then 1 else 0 in
+  let w = w land max_int in
+  let m1 = 0x5555_5555_5555_5555 land max_int in
+  let m2 = 0x3333_3333_3333_3333 land max_int in
+  let m4 = 0x0F0F_0F0F_0F0F_0F0F land max_int in
+  let w = w - ((w lsr 1) land m1) in
+  let w = (w land m2) + ((w lsr 2) land m2) in
+  let w = (w + (w lsr 4)) land m4 in
+  top + ((w * 0x0101_0101_0101_0101) lsr 56) land 0xFF

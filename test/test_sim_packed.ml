@@ -1,0 +1,379 @@
+(* Tests for the bit-sliced 63-lane simulator: popcount, exhaustive
+   word-level cell evaluation (all input combinations packed as lanes),
+   a QCheck lane-equivalence property pinning every Sim_packed lane to a
+   scalar Sim replica (net values, toggle counts, seq/storage state,
+   weight counters, bus reads) across Specgen-generated macros and random
+   vector streams, directed lane-0/lane-62 edge tests, and scalar-vs-
+   packed agreement of the differential check engines. *)
+
+let lib = Library.n40 ()
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let gen_spec seed = List.hd (Specgen.generate ~seed ~count:1)
+
+(* ---------------- popcount ---------------- *)
+
+let naive_popcount w =
+  let c = ref 0 in
+  for i = 0 to Sys.int_size - 1 do
+    if (w lsr i) land 1 = 1 then incr c
+  done;
+  !c
+
+let test_popcount_directed () =
+  check_int "0" 0 (Intmath.popcount 0);
+  check_int "1" 1 (Intmath.popcount 1);
+  check_int "-1 (all 63 bits)" Sys.int_size (Intmath.popcount (-1));
+  check_int "max_int" (Sys.int_size - 1) (Intmath.popcount max_int);
+  check_int "min_int (sign bit only)" 1 (Intmath.popcount min_int);
+  check_int "0xF0F" 8 (Intmath.popcount 0xF0F)
+
+let popcount_prop =
+  QCheck.Test.make ~count:500 ~name:"popcount matches bit loop"
+    QCheck.int (fun w -> Intmath.popcount w = naive_popcount w)
+
+(* ---------------- word-level cell eval, exhaustive ---------------- *)
+
+(* Every input combination of a cell packed as one lane each: lane [c]
+   carries combination [c], so a single eval_word call checks the whole
+   truth table against the scalar eval. *)
+let test_eval_word_exhaustive () =
+  List.iter
+    (fun k ->
+      if not (Cell.is_sequential k || Cell.is_storage k) then begin
+        let n = Cell.n_inputs k in
+        let combos = 1 lsl n in
+        assert (combos <= Sim_packed.lanes);
+        let ins_w =
+          Array.init n (fun p ->
+              let w = ref 0 in
+              for c = 0 to combos - 1 do
+                w := !w lor (((c lsr p) land 1) lsl c)
+              done;
+              !w)
+        in
+        let outs_w = Cell.eval_word k ins_w in
+        for c = 0 to combos - 1 do
+          let ins = Array.init n (fun p -> (c lsr p) land 1 = 1) in
+          let outs = Cell.eval k ins in
+          Array.iteri
+            (fun o expected ->
+              check_bool
+                (Printf.sprintf "%s combo %d out %d" (Cell.kind_to_string k)
+                   c o)
+                expected
+                ((outs_w.(o) lsr c) land 1 = 1))
+            outs
+        done
+      end)
+    Cell.all_kinds
+
+(* ---------------- lane equivalence on generated macros -------------- *)
+
+(* Drive one packed simulator and [lanes] scalar replicas with identical
+   per-lane stimulus — random values on every input bus, every cycle,
+   plus a mid-run weight write — then require bit-exact agreement on
+   everything the two engines expose. *)
+let run_equivalence ~seed ~cycles ~n_lanes =
+  let spec = gen_spec seed in
+  let m = Macro_rtl.build lib (Spec.initial_config spec) in
+  let d = m.Macro_rtl.design in
+  let rng = Rng.create (seed lxor 0x5EED) in
+  let psim = Sim_packed.create ~n_lanes d in
+  let sims = Array.init n_lanes (fun _ -> Sim.create d) in
+  (* per-lane random weights into every copy, same write order *)
+  for copy = 0 to m.Macro_rtl.cfg.Macro_rtl.mcr - 1 do
+    let weights =
+      Array.init n_lanes (fun _ ->
+          Testbench.random_weights rng m ~density:0.7)
+    in
+    Array.iteri
+      (fun l sim -> Testbench.load_weights m sim ~copy weights.(l))
+      sims;
+    Testbench.load_weights_lanes m psim ~copy weights
+  done;
+  let inputs = d.Ir.src.Ir.inputs in
+  let vs = Array.make n_lanes 0 in
+  for cyc = 1 to cycles do
+    List.iter
+      (fun (name, bus) ->
+        let bound = 1 lsl min (Array.length bus) 30 in
+        for l = 0 to n_lanes - 1 do
+          vs.(l) <- Rng.int rng bound
+        done;
+        Sim_packed.set_bus_lanes psim name vs;
+        Array.iteri (fun l sim -> Sim.set_bus sim name vs.(l)) sims)
+      inputs;
+    (* a weight write mid-stream exercises the flip/write counters *)
+    if cyc = cycles / 2 then begin
+      for l = 0 to n_lanes - 1 do
+        vs.(l) <- Rng.int rng 2
+      done;
+      let w = ref 0 in
+      Array.iteri (fun l v -> w := !w lor (v lsl l)) vs;
+      Sim_packed.set_weight psim ~row:0 ~col:0 ~copy:0 !w;
+      Array.iteri
+        (fun l sim -> Sim.set_weight sim ~row:0 ~col:0 ~copy:0 (vs.(l) = 1))
+        sims
+    end;
+    Sim_packed.step psim;
+    Array.iter Sim.step sims
+  done;
+  (* per-lane state must be bit-exact *)
+  for l = 0 to n_lanes - 1 do
+    if Sim_packed.extract_lane psim l <> sims.(l).Sim.values then
+      QCheck.Test.fail_reportf "seed %d: lane %d net values diverge" seed l;
+    if Sim_packed.seq_state_lane psim l <> sims.(l).Sim.seq_state then
+      QCheck.Test.fail_reportf "seed %d: lane %d seq state diverges" seed l;
+    if Sim_packed.storage_state_lane psim l <> sims.(l).Sim.storage_state
+    then
+      QCheck.Test.fail_reportf "seed %d: lane %d storage diverges" seed l;
+    List.iter
+      (fun (name, _) ->
+        if
+          Sim_packed.read_bus_lane psim name l <> Sim.read_bus sims.(l) name
+          || Sim_packed.read_bus_signed_lane psim name l
+             <> Sim.read_bus_signed sims.(l) name
+        then
+          QCheck.Test.fail_reportf "seed %d: lane %d bus %s diverges" seed l
+            name)
+      d.Ir.src.Ir.outputs
+  done;
+  (* lane-summed counters must equal the sums of the scalar counters *)
+  let sum f = Array.fold_left (fun acc sim -> acc + f sim) 0 sims in
+  for net = 0 to d.Ir.n_nets - 1 do
+    let scalar = sum (fun sim -> sim.Sim.toggles.(net)) in
+    if scalar <> psim.Sim_packed.toggles.(net) then
+      QCheck.Test.fail_reportf
+        "seed %d: net %d toggles: packed %d, scalar lanes sum %d" seed net
+        psim.Sim_packed.toggles.(net) scalar
+  done;
+  for i = 0 to Array.length psim.Sim_packed.en_cycles - 1 do
+    let scalar = sum (fun sim -> sim.Sim.en_cycles.(i)) in
+    if scalar <> psim.Sim_packed.en_cycles.(i) then
+      QCheck.Test.fail_reportf "seed %d: inst %d en_cycles diverge" seed i
+  done;
+  check_int "weight_flips lane sum"
+    (sum (fun sim -> sim.Sim.weight_flips))
+    psim.Sim_packed.weight_flips;
+  check_int "weight_writes lane sum"
+    (sum (fun sim -> sim.Sim.weight_writes))
+    psim.Sim_packed.weight_writes;
+  check_int "cycles" sims.(0).Sim.cycles psim.Sim_packed.cycles;
+  true
+
+let lane_equivalence_prop =
+  QCheck.Test.make ~count:6
+    ~name:"every packed lane is bit-exact with a scalar replica"
+    QCheck.small_nat
+    (fun seed ->
+      run_equivalence ~seed ~cycles:12 ~n_lanes:Sim_packed.lanes)
+
+(* ---------------- directed lane edge tests ---------------- *)
+
+(* A 3-bit inverter: lane 0 and lane 62 carry distinct payloads, every
+   other lane idles at zero — the two ends of the word must not leak
+   into each other or into the middle. *)
+let inverter_harness () =
+  let ir = Ir.create () in
+  let a = Ir.new_bus ir 3 in
+  Ir.add_input ir "a" a;
+  let out =
+    Array.map
+      (fun net ->
+        let o = Ir.new_net ir in
+        ignore (Ir.add ir Cell.Inv ~ins:[| net |] ~outs:[| o |]);
+        o)
+      a
+  in
+  Ir.add_output ir "out" out;
+  Ir.freeze ir
+
+let test_lane_edges () =
+  let d = inverter_harness () in
+  let psim = Sim_packed.create d in
+  check_int "full width" Sys.int_size (Sim_packed.lanes_of psim);
+  let vs = Array.make Sim_packed.lanes 0 in
+  vs.(0) <- 5;
+  vs.(Sim_packed.lanes - 1) <- 2;
+  Sim_packed.set_bus_lanes psim "a" vs;
+  Sim_packed.eval psim;
+  check_int "lane 0" (lnot 5 land 7) (Sim_packed.read_bus_lane psim "out" 0);
+  check_int "lane 62"
+    (lnot 2 land 7)
+    (Sim_packed.read_bus_lane psim "out" (Sim_packed.lanes - 1));
+  check_int "idle middle lane" 7 (Sim_packed.read_bus_lane psim "out" 31);
+  (* toggle accounting is exact per lane: only the two driven lanes
+     toggled bits 0 and 2 of the input bus *)
+  let bus = Ir.input_bus d.Ir.src "a" in
+  check_int "bit0 toggles (only lane 0's 0b101)" 1
+    psim.Sim_packed.toggles.(bus.(0));
+  check_int "bit1 toggles (only lane 62's 0b010)" 1
+    psim.Sim_packed.toggles.(bus.(1));
+  check_int "bit2 toggles (only lane 0's 0b101)" 1
+    psim.Sim_packed.toggles.(bus.(2));
+  (* re-driving the identical pattern adds no toggles *)
+  Sim_packed.set_bus_lanes psim "a" vs;
+  check_int "no toggle on identical drive" 1
+    psim.Sim_packed.toggles.(bus.(0))
+
+let test_lane_count_validation () =
+  let d = inverter_harness () in
+  check_bool "0 lanes rejected" true
+    (try
+       ignore (Sim_packed.create ~n_lanes:0 d);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "64 lanes rejected" true
+    (try
+       ignore (Sim_packed.create ~n_lanes:(Sim_packed.lanes + 1) d);
+       false
+     with Invalid_argument _ -> true);
+  let one = Sim_packed.create ~n_lanes:1 d in
+  check_int "single lane" 1 (Sim_packed.lanes_of one)
+
+(* ---------------- packed power accounting ---------------- *)
+
+(* With a single lane, the packed Monte Carlo path must reproduce the
+   scalar power estimate to float tolerance: same counters, same
+   effective cycles. *)
+let test_packed_power_single_lane () =
+  let m =
+    Macro_rtl.build lib
+      (Macro_rtl.default ~rows:8 ~cols:16 ~mcr:1
+         ~input_prec:Precision.int4 ~weight_prec:Precision.int4)
+  in
+  let run estimate create load stream =
+    let rng = Rng.create 0xACC in
+    let sim = create m.Macro_rtl.design in
+    load rng sim;
+    stream rng sim;
+    estimate sim
+  in
+  let scalar =
+    run
+      (fun sim -> Power.estimate m.Macro_rtl.design lib sim ~freq_hz:5e8 ~vdd:0.9 ())
+      Sim.create
+      (fun rng sim ->
+        Testbench.load_weights m sim ~copy:0
+          (Testbench.random_weights rng m ~density:0.5);
+        Sim.reset_stats sim)
+      (fun rng sim ->
+        Testbench.run_stream m sim ~rng ~macs:3 ~input_density:0.5)
+  in
+  let packed =
+    run
+      (fun sim ->
+        Power.estimate_packed m.Macro_rtl.design lib sim ~freq_hz:5e8
+          ~vdd:0.9 ())
+      (Sim_packed.create ~n_lanes:1)
+      (fun rng sim ->
+        Testbench.load_weights_lanes m sim ~copy:0
+          [| Testbench.random_weights rng m ~density:0.5 |];
+        Sim_packed.reset_stats sim)
+      (fun rng sim ->
+        Testbench.run_stream_packed m sim ~rng ~macs:3 ~input_density:0.5)
+  in
+  let close a b =
+    abs_float (a -. b) <= 1e-9 *. (abs_float a +. abs_float b +. 1.0)
+  in
+  check_bool "total power" true (close scalar.Power.total_w packed.Power.total_w);
+  check_bool "dynamic power" true
+    (close scalar.Power.dynamic_w packed.Power.dynamic_w);
+  check_bool "clock power" true (close scalar.Power.clock_w packed.Power.clock_w);
+  check_bool "energy/cycle" true
+    (close scalar.Power.energy_per_cycle_fj packed.Power.energy_per_cycle_fj)
+
+(* full-width Monte Carlo run: sane report, lanes× sample mass *)
+let test_packed_power_full_width () =
+  let m =
+    Macro_rtl.build lib
+      (Macro_rtl.default ~rows:8 ~cols:16 ~mcr:1
+         ~input_prec:Precision.int4 ~weight_prec:Precision.int4)
+  in
+  let p =
+    Design_point.measure_power_packed lib m ~freq_hz:5e8 ~vdd:0.9
+      ~input_density:0.5 ~weight_density:0.5 ~macs:3
+  in
+  check_bool "positive total" true (p.Power.total_w > 0.0);
+  check_bool "dynamic dominated sanity" true
+    (p.Power.dynamic_w > 0.0 && p.Power.clock_w > 0.0)
+
+(* ---------------- differential engine agreement ---------------- *)
+
+let test_diffcheck_engines_agree () =
+  List.iter
+    (fun seed ->
+      let spec = gen_spec seed in
+      let scalar =
+        Diffcheck.check_spec ~engine:`Scalar ~seed:(seed + 100) lib spec
+      in
+      let packed =
+        Diffcheck.check_spec ~engine:`Packed ~seed:(seed + 100) lib spec
+      in
+      check_bool
+        (Printf.sprintf "seed %d: both engines pass" seed)
+        true
+        (scalar.Diffcheck.failure = None && packed.Diffcheck.failure = None);
+      check_int
+        (Printf.sprintf "seed %d: check counts equal" seed)
+        scalar.Diffcheck.checks packed.Diffcheck.checks)
+    [ 1; 2; 3; 4 ]
+
+let test_diffcheck_engines_catch_bug () =
+  (* both engines must catch each injected fault on the same specs the
+     scalar-era suite used *)
+  List.iter
+    (fun bug ->
+      List.iter
+        (fun seed ->
+          let spec = gen_spec seed in
+          let fails engine =
+            (Diffcheck.check_spec ~engine ~bug ~seed:(seed + 7) lib spec)
+              .Diffcheck.failure
+            <> None
+          in
+          check_bool
+            (Printf.sprintf "%s seed %d: engines agree"
+               (Diffcheck.bug_name bug) seed)
+            (fails `Scalar) (fails `Packed))
+        [ 1; 2; 3; 4; 5; 6 ])
+    [ Diffcheck.Retime_early_sample; Diffcheck.Skip_sign_cycle ]
+
+(* ---------------- suite ---------------- *)
+
+let () =
+  Alcotest.run "sim_packed"
+    [
+      ( "popcount",
+        [
+          Alcotest.test_case "directed" `Quick test_popcount_directed;
+          QCheck_alcotest.to_alcotest popcount_prop;
+        ] );
+      ( "eval_word",
+        [
+          Alcotest.test_case "exhaustive truth tables vs scalar eval" `Quick
+            test_eval_word_exhaustive;
+        ] );
+      ( "lane_equivalence",
+        [
+          QCheck_alcotest.to_alcotest lane_equivalence_prop;
+          Alcotest.test_case "lane 0 / lane 62 edges" `Quick test_lane_edges;
+          Alcotest.test_case "lane count validation" `Quick
+            test_lane_count_validation;
+        ] );
+      ( "power",
+        [
+          Alcotest.test_case "single-lane packed == scalar estimate" `Quick
+            test_packed_power_single_lane;
+          Alcotest.test_case "full-width Monte Carlo report" `Quick
+            test_packed_power_full_width;
+        ] );
+      ( "diffcheck",
+        [
+          Alcotest.test_case "engines agree on clean specs" `Quick
+            test_diffcheck_engines_agree;
+          Alcotest.test_case "engines agree on injected bugs" `Slow
+            test_diffcheck_engines_catch_bug;
+        ] );
+    ]
