@@ -50,7 +50,9 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps =
+let write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps
+    ~signoff_batches ~signoff_scalar_cps ~signoff_packed_cps ~shmoo_lanes
+    ~shmoo_scalar_s ~shmoo_packed_s =
   let b = Buffer.create 4096 in
   let entry (name, v) =
     Printf.sprintf "    {\"name\": \"%s\", \"value\": %.6g}" (json_escape name) v
@@ -74,6 +76,21 @@ let write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps =
         \"packed_lane_cps\": %.6g, \"speedup\": %.6g},\n"
        Sim_packed.lanes packed_scalar_cps packed_cps
        (if packed_scalar_cps > 0.0 then packed_cps /. packed_scalar_cps
+        else 0.0));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"packed_signoff\": {\"batches\": %d, \"scalar_checks_ps\": %.6g, \
+        \"packed_checks_ps\": %.6g, \"speedup\": %.6g},\n"
+       signoff_batches signoff_scalar_cps signoff_packed_cps
+       (if signoff_scalar_cps > 0.0 then
+          signoff_packed_cps /. signoff_scalar_cps
+        else 0.0));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"packed_shmoo\": {\"lanes\": %d, \"scalar_s\": %.6g, \
+        \"packed_s\": %.6g, \"speedup\": %.6g},\n"
+       shmoo_lanes shmoo_scalar_s shmoo_packed_s
+       (if shmoo_packed_s > 0.0 then shmoo_scalar_s /. shmoo_packed_s
         else 0.0));
   Buffer.add_string b "  \"kernels_ns_per_run\": [\n";
   Buffer.add_string b
@@ -218,6 +235,79 @@ let () =
     (scalar_cps, packed_cps)
   in
 
+  (* ---------------- packed signoff throughput ---------------- *)
+  banner "Packed signoff — Testbench.verify, scalar vs packed engine";
+  let signoff_batches = if quick then 63 else 252 in
+  let signoff_scalar_cps, signoff_packed_cps =
+    let m =
+      Macro_rtl.build lib
+        (Macro_rtl.default ~rows:16 ~cols:16 ~mcr:1
+           ~input_prec:Precision.int8 ~weight_prec:Precision.int8)
+    in
+    let best_of n f =
+      let best = ref infinity in
+      for _ = 1 to n do
+        let t0 = Unix.gettimeofday () in
+        f ();
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt
+      done;
+      !best
+    in
+    let scalar_s =
+      best_of 3 (fun () ->
+          Testbench.verify ~engine:`Scalar m ~seed:0xACC
+            ~batches:signoff_batches)
+    in
+    let packed_s =
+      best_of 3 (fun () ->
+          Testbench.verify ~engine:`Packed m ~seed:0xACC
+            ~batches:signoff_batches)
+    in
+    let sc = float_of_int signoff_batches /. scalar_s in
+    let pc = float_of_int signoff_batches /. packed_s in
+    Printf.printf
+      "16x16 INT8, %d MAC checks vs golden, best of 3:\n\
+      \  scalar: %.3f s = %.3g checks/s\n\
+      \  packed: %.3f s = %.3g checks/s\n\
+       speedup: %.1fx\n\
+       %!"
+      signoff_batches scalar_s sc packed_s pc (pc /. sc);
+    (sc, pc)
+  in
+
+  (* ---------------- packed shmoo column batching ---------------- *)
+  banner "Packed shmoo — Fig. 9 energy grid, scalar vs column batching";
+  let shmoo_lanes = if quick then 8 else 32 in
+  let shmoo_scalar_s, shmoo_packed_s =
+    let m =
+      Macro_rtl.build lib
+        (Macro_rtl.default ~rows:16 ~cols:16 ~mcr:1
+           ~input_prec:Precision.int8 ~weight_prec:Precision.int8)
+    in
+    let time engine =
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (Fig9.measure ~engine ~n_lanes:shmoo_lanes ~macs:2 ~jobs:1 lib m
+           ~crit_ps:950.0);
+      Unix.gettimeofday () -. t0
+    in
+    let scalar_s = time `Scalar in
+    let packed_s = time `Packed in
+    Printf.printf
+      "16x16 INT8, %d VDDs x %d freqs, %d-replica ensemble per column, \
+       jobs=1:\n\
+      \  scalar: %.3f s (one run per replica)\n\
+      \  packed: %.3f s (one bit-sliced run per column)\n\
+       speedup: %.1fx\n\
+       %!"
+      (Array.length Fig9.default_vdds)
+      (Array.length Fig9.default_freqs_mhz)
+      shmoo_lanes scalar_s packed_s
+      (if packed_s > 0.0 then scalar_s /. packed_s else 0.0);
+    (scalar_s, packed_s)
+  in
+
   (* ---------------- Bechamel kernels ---------------- *)
   banner "Bechamel — compiler kernel microbenchmarks";
   let open Bechamel in
@@ -282,5 +372,7 @@ let () =
           | Some _ | None -> Printf.printf "  %-36s (no estimate)\n%!" name)
         results)
     tests;
-  write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps;
+  write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps
+    ~signoff_batches ~signoff_scalar_cps ~signoff_packed_cps ~shmoo_lanes
+    ~shmoo_scalar_s ~shmoo_packed_s;
   Printf.printf "\nbench: all experiments regenerated.\n"

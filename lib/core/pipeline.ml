@@ -205,15 +205,21 @@ let search_stage lib scl ~boost : (Spec.t, search_art) Stage.t =
             ~cache_hits:cache.Eval_cache.hits
             ~cache_misses:cache.Eval_cache.misses ~boost ~note () ))
 
-(** Stage 2 — functional sign-off against the golden MAC. *)
-let verify_stage ~enabled : (search_art, search_art) Stage.t =
+(** Stage 2 — functional sign-off against the golden MAC. The default
+    [`Packed] engine settles each weight copy's MAC batch as
+    {!Sim_packed} lanes (any failing lane is shrunk back to one scalar
+    transaction); [`Scalar] is the reference engine the equivalence
+    property pins it against. Both produce bit-identical verdicts. *)
+let verify_stage ?(engine = `Packed) ~enabled () :
+    (search_art, search_art) Stage.t =
   Stage.v stage_verify (fun (sa : search_art) ->
       if not enabled then
         Ok (sa, Stage.meta ~note:"skipped (verification disabled)" ())
       else
         let* () =
           Diag.guard ~stage:stage_verify ~spec:sa.search_spec (fun () ->
-              Testbench.verify sa.macro ~seed:0xACC ~batches:verify_batches)
+              Testbench.verify ~engine sa.macro ~seed:0xACC
+                ~batches:verify_batches)
         in
         let copies = sa.macro.Macro_rtl.cfg.Macro_rtl.mcr in
         Ok
@@ -221,8 +227,12 @@ let verify_stage ~enabled : (search_art, search_art) Stage.t =
             Stage.meta
               ~cells:(Ir.n_insts sa.macro.Macro_rtl.design)
               ~note:
-                (Printf.sprintf "%d random MACs vs golden (%d weight copies)"
-                   (copies * verify_batches) copies)
+                (Printf.sprintf
+                   "%d random MACs vs golden (%d weight copies, %s engine)"
+                   (copies * verify_batches) copies
+                   (match engine with
+                   | `Packed -> "packed"
+                   | `Scalar -> "scalar"))
               () ))
 
 (** Stage 3 — back-end: place, route, sign off, and re-close timing with
@@ -418,18 +428,24 @@ let metrics_stage lib ~(policy : policy) :
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(** [run ?style ?policy ?trace ?inject lib scl spec] — thread the five
-    stages, re-running the whole pipeline under the retry policy when the
-    metrics stage asks for a boost. Every stage execution (across every
-    attempt) appends a row to [trace]; [inject] forces the named stage to
-    fail, for exercising the diagnostic path. *)
-let run ?(style = Floorplan.Sdp) ?(policy = default_policy) ?trace ?inject
-    lib scl (spec : Spec.t) : (run, Diag.t) Stdlib.result =
+(** [run ?style ?policy ?verify_engine ?trace ?inject lib scl spec] —
+    thread the five stages, re-running the whole pipeline under the retry
+    policy when the metrics stage asks for a boost. Every stage execution
+    (across every attempt) appends a row to [trace]; [inject] forces the
+    named stage to fail, for exercising the diagnostic path.
+    [verify_engine] selects the sign-off simulation engine (default
+    [`Packed]); both engines produce bit-identical verdicts, so the
+    choice never changes the compiled artifact. *)
+let run ?(style = Floorplan.Sdp) ?(policy = default_policy)
+    ?(verify_engine = `Packed) ?trace ?inject lib scl (spec : Spec.t) :
+    (run, Diag.t) Stdlib.result =
   let exec s x = Stage.execute ?trace ?inject s x in
   let budget_ps = Spec.nominal_budget_ps spec lib.Library.node in
   let rec attempt acc boost =
     let* sa = exec (search_stage lib scl ~boost) spec in
-    let* sa = exec (verify_stage ~enabled:policy.verify) sa in
+    let* sa =
+      exec (verify_stage ~engine:verify_engine ~enabled:policy.verify ()) sa
+    in
     let* ba =
       exec
         (backend_stage lib ~style ~spec ~budget_ps
@@ -597,12 +613,12 @@ let add_cache_row trace ~ok ~wall_ms ~cells ~crit_out_ps ~hit ~boost ~note =
     [cache] trace row); a miss — including a corrupt entry, which is
     diagnosed but never fatal — runs the full pipeline and stores the
     result. Without [cache] this is exactly [run] plus summarization. *)
-let run_cached ?(style = Floorplan.Sdp) ?(policy = default_policy) ?trace
-    ?inject ?cache lib scl (spec : Spec.t) : (summary, Diag.t) Stdlib.result
-    =
+let run_cached ?(style = Floorplan.Sdp) ?(policy = default_policy)
+    ?verify_engine ?trace ?inject ?cache lib scl (spec : Spec.t) :
+    (summary, Diag.t) Stdlib.result =
   match cache with
   | None ->
-      let* r = run ~style ~policy ?trace ?inject lib scl spec in
+      let* r = run ~style ~policy ?verify_engine ?trace ?inject lib scl spec in
       Ok (summary_of_run r)
   | Some dc -> (
       let t0 = Unix.gettimeofday () in
@@ -634,7 +650,9 @@ let run_cached ?(style = Floorplan.Sdp) ?(policy = default_policy) ?trace
           in
           add_cache_row trace ~ok:true ~wall_ms ~cells:None ~crit_out_ps:None
             ~hit:false ~boost:None ~note;
-          let* r = run ~style ~policy ?trace ?inject lib scl spec in
+          let* r =
+            run ~style ~policy ?verify_engine ?trace ?inject lib scl spec
+          in
           let s = { (summary_of_run r) with sum_cache = outcome } in
           Disk_cache.store dc k (cache_value_of_summary s);
           Ok s)

@@ -130,8 +130,10 @@ type mcr_point = {
 (** The paper's MCR-aware design point: raising MCR multiplies on-macro
     weight storage while sharing one compute element per [mcr] cells,
     trading a little mux delay/area for much higher memory density and
-    background weight updates. *)
-let mcr_sweep ?(dim = 32) ?jobs lib =
+    background weight updates. Power streams through the bit-sliced
+    Monte Carlo path by default ([engine = `Packed], 63 replicas per
+    grid point); [`Scalar] keeps the single-replica reference run. *)
+let mcr_sweep ?(dim = 32) ?(engine = `Packed) ?jobs lib =
   let grid =
     List.concat_map
       (fun mcr ->
@@ -154,8 +156,13 @@ let mcr_sweep ?(dim = 32) ?jobs lib =
       let m = Macro_rtl.build lib cfg in
       let stats = Stats.of_design m.Macro_rtl.design lib in
       let power =
-        Design_point.measure_power lib m ~freq_hz:5e8 ~vdd:0.9
-          ~input_density:0.5 ~weight_density:0.5 ~macs:4
+        match engine with
+        | `Scalar ->
+            Design_point.measure_power lib m ~freq_hz:5e8 ~vdd:0.9
+              ~input_density:0.5 ~weight_density:0.5 ~macs:4
+        | `Packed ->
+            Design_point.measure_power_packed lib m ~freq_hz:5e8 ~vdd:0.9
+              ~input_density:0.5 ~weight_density:0.5 ~macs:4
       in
       let memory_kb = float_of_int (dim * dim * mcr) /. 1024.0 in
       {

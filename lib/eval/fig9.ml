@@ -42,37 +42,169 @@ let shmoo ?(vdds = default_vdds) ?(freqs_mhz = default_freqs_mhz) ?jobs node
 let run ?jobs lib (a : Pipeline.artifact) =
   shmoo ?jobs lib.Library.node ~crit_ps:a.Pipeline.metrics.Pipeline.crit_ps
 
-(** [fmax_mhz t ~vdd] — highest passing grid frequency at [vdd]. *)
-let fmax_mhz (t : t) ~vdd =
-  let vi = ref (-1) in
-  Array.iteri (fun i v -> if Float.abs (v -. vdd) < 1e-6 then vi := i) t.vdds;
-  if !vi < 0 then None
-  else begin
-    let best = ref None in
-    Array.iteri
-      (fun fi ok -> if ok then best := Some t.freqs_mhz.(fi))
-      t.pass.(!vi);
-    !best
-  end
+(** [vdd_index t ~vdd] — grid row of supply [vdd], [None] when the grid
+    has no such row (within 1 µV). *)
+let vdd_index (t : t) ~vdd =
+  let n = Array.length t.vdds in
+  let rec go i =
+    if i >= n then None
+    else if Float.abs (t.vdds.(i) -. vdd) < 1e-6 then Some i
+    else go (i + 1)
+  in
+  go 0
 
-let print (t : t) =
-  print_endline "Figure 9 — shmoo plot (o = pass, . = fail)";
-  Printf.printf "        post-layout critical path: %.0f ps at nominal VDD\n"
+(** [fmax_mhz t ~vdd] — highest passing grid frequency at [vdd], [None]
+    when no frequency passes there or when [vdd] is not a row of the
+    grid (absent supplies do not alias into a neighbouring row). *)
+let fmax_mhz (t : t) ~vdd =
+  match vdd_index t ~vdd with
+  | None -> None
+  | Some vi ->
+      let row = t.pass.(vi) in
+      let rec last_pass best fi =
+        if fi >= Array.length row then best
+        else
+          last_pass (if row.(fi) then Some t.freqs_mhz.(fi) else best) (fi + 1)
+      in
+      last_pass None 0
+
+(** [render t] — the plot as a string, so the test suite can snapshot
+    it and regressions show as a readable diff. [print] writes exactly
+    this text. *)
+let render (t : t) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "Figure 9 — shmoo plot (o = pass, . = fail)\n";
+  Printf.bprintf b "        post-layout critical path: %.0f ps at nominal VDD\n"
     t.crit_ps;
-  Printf.printf "%8s" "V \\ MHz";
-  Array.iter (fun f -> Printf.printf "%5.0f" f) t.freqs_mhz;
-  print_newline ();
+  Printf.bprintf b "%8s" "V \\ MHz";
+  Array.iter (fun f -> Printf.bprintf b "%5.0f" f) t.freqs_mhz;
+  Buffer.add_char b '\n';
   let n = Array.length t.vdds in
   for vi = n - 1 downto 0 do
-    Printf.printf "%7.2fV" t.vdds.(vi);
+    Printf.bprintf b "%7.2fV" t.vdds.(vi);
     Array.iter
-      (fun ok -> Printf.printf "%5s" (if ok then "o" else "."))
+      (fun ok -> Printf.bprintf b "%5s" (if ok then "o" else "."))
       t.pass.(vi);
-    print_newline ()
+    Buffer.add_char b '\n'
   done;
   (match fmax_mhz t ~vdd:1.2 with
-  | Some f -> Printf.printf "max frequency @ 1.2 V: %.0f MHz\n" f
+  | Some f -> Printf.bprintf b "max frequency @ 1.2 V: %.0f MHz\n" f
   | None -> ());
-  match fmax_mhz t ~vdd:0.7 with
-  | Some f -> Printf.printf "max frequency @ 0.7 V: %.0f MHz\n" f
-  | None -> ()
+  (match fmax_mhz t ~vdd:0.7 with
+  | Some f -> Printf.bprintf b "max frequency @ 0.7 V: %.0f MHz\n" f
+  | None -> ());
+  Buffer.contents b
+
+let print (t : t) = print_string (render t)
+
+(* ---------------- energy-annotated (measured) shmoo ---------------- *)
+
+type measured = {
+  grid : t;
+  energy_fj : float array array;
+      (** [energy_fj.(vi).(fi)] — average switching + clock + write
+          energy per cycle (fJ) of one macro replica at the operating
+          point, from simulated toggle counts *)
+}
+
+(** [measure lib m ~crit_ps] — the shmoo grid annotated with simulated
+    energy per cycle at every operating point.
+
+    The voltage axis of the grid costs no extra simulation: toggle
+    counters depend only on the stimulus, and supply voltage only
+    rescales each toggle's energy, so *one* toggle-accounting run per
+    frequency serves the entire VDD column
+    ({!Power.estimate_at_vdds}). Each frequency column streams [macs]
+    MACs in [n_lanes] Monte Carlo replicas with its own deterministic
+    stimulus (seeded from [seed] and the column index), pre-drawn so
+    both engines replay identical streams:
+
+    - [`Packed] (default) — one bit-sliced {!Sim_packed} run per
+      column, replicas as lanes;
+    - [`Scalar] — the reference: [n_lanes] scalar runs per column with
+      element-wise-summed counters, bit-identical to the packed
+      counters by the lane-equivalence property, hence bit-identical
+      energies.
+
+    Columns fan out over the pool; the fanout-load map is built once
+    and shared by every column and engine. *)
+let measure ?(vdds = default_vdds) ?(freqs_mhz = default_freqs_mhz)
+    ?(engine = `Packed) ?(n_lanes = Sim_packed.lanes) ?(seed = 0xF19)
+    ?(macs = 4) ?jobs lib (m : Macro_rtl.t) ~crit_ps =
+  let grid = shmoo ~vdds ~freqs_mhz ?jobs lib.Library.node ~crit_ps in
+  let d = m.Macro_rtl.design in
+  let loads = Ir.fanout_loads d lib () in
+  let columns =
+    Pool.parallel_map ?jobs
+      (fun fi ->
+        let rng = Rng.create (seed + (fi * 7919)) in
+        let weights =
+          Array.init n_lanes (fun _ ->
+              Testbench.random_weights rng m ~density:0.5)
+        in
+        let inputs =
+          Array.init macs (fun _ ->
+              Array.init n_lanes (fun _ ->
+                  Array.init m.Macro_rtl.cfg.Macro_rtl.rows (fun _ ->
+                      Testbench.random_input ~realistic:true rng m
+                        ~density:0.5)))
+        in
+        let toggles, en_cycles, cycles, weight_flips =
+          match engine with
+          | `Packed ->
+              let sim = Sim_packed.create ~n_lanes d in
+              if m.Macro_rtl.cfg.Macro_rtl.mcr > 1 then
+                Sim_packed.set_bus sim "copy_sel" 0;
+              Testbench.load_weights_lanes m sim ~copy:0 weights;
+              Sim_packed.reset_stats sim;
+              Testbench.run_stream_packed_with m sim ~macs
+                ~next_inputs:(fun k -> inputs.(k));
+              ( sim.Sim_packed.toggles,
+                sim.Sim_packed.en_cycles,
+                sim.Sim_packed.cycles * n_lanes,
+                sim.Sim_packed.weight_flips )
+          | `Scalar ->
+              (* the ensemble as [n_lanes] scalar runs, counters summed
+                 element-wise — the reference the packed counters are
+                 property-tested against *)
+              let toggles = ref [||]
+              and en_cycles = ref [||]
+              and cycles = ref 0
+              and weight_flips = ref 0 in
+              for l = 0 to n_lanes - 1 do
+                let sim = Sim.create d in
+                if m.Macro_rtl.cfg.Macro_rtl.mcr > 1 then
+                  Sim.set_bus sim "copy_sel" 0;
+                Testbench.load_weights m sim ~copy:0 weights.(l);
+                Sim.reset_stats sim;
+                Testbench.run_stream_with m sim ~macs
+                  ~next_inputs:(fun k -> inputs.(k).(l));
+                let add dst src =
+                  if Array.length !dst = 0 then dst := Array.copy src
+                  else Array.iteri (fun i v -> !dst.(i) <- !dst.(i) + v) src
+                in
+                add toggles sim.Sim.toggles;
+                add en_cycles sim.Sim.en_cycles;
+                cycles := !cycles + sim.Sim.cycles;
+                weight_flips := !weight_flips + sim.Sim.weight_flips
+              done;
+              (!toggles, !en_cycles, !cycles, !weight_flips)
+        in
+        let freq_hz = freqs_mhz.(fi) *. 1e6 in
+        Power.estimate_at_vdds d lib ~toggles ~en_cycles ~cycles
+          ~weight_flips ~freq_hz ~vdds ~loads ()
+        |> Array.map (fun (r : Power.report) -> r.Power.energy_per_cycle_fj))
+      (List.init (Array.length freqs_mhz) Fun.id)
+    |> Array.of_list
+  in
+  let energy_fj =
+    Array.init (Array.length vdds) (fun vi ->
+        Array.init (Array.length freqs_mhz) (fun fi -> columns.(fi).(vi)))
+  in
+  { grid; energy_fj }
+
+(** [run_measured lib artifact] — {!measure} on a compiled artifact's
+    macro and signed-off critical path. *)
+let run_measured ?engine ?n_lanes ?jobs lib (a : Pipeline.artifact) =
+  measure ?engine ?n_lanes ?jobs lib a.Pipeline.macro
+    ~crit_ps:a.Pipeline.metrics.Pipeline.crit_ps

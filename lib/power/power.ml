@@ -125,6 +125,30 @@ let estimate_activity (d : Ir.design) (lib : Library.t)
       |> List.sort (fun (a, _) (b, _) -> compare a b);
   }
 
+(** [estimate_at_vdds d lib ~toggles .. ~vdds ()] — one set of counters,
+    a whole supply-voltage column of reports. Switching activity is
+    voltage-independent (the stimulus fixes which nets toggle; the
+    supply only rescales each toggle's energy through
+    {!Voltage.energy_scale}/{!Voltage.leakage_scale}), so a single
+    simulation run serves every VDD point of a shmoo column. The
+    fanout-load map is built once and shared, which makes each column
+    entry perform float arithmetic bit-identical to a standalone
+    {!estimate_activity} call given the same [loads]. *)
+let estimate_at_vdds (d : Ir.design) (lib : Library.t)
+    ~(toggles : int array) ~(en_cycles : int array) ~(cycles : int)
+    ~(weight_flips : int) ~freq_hz ~(vdds : float array) ?wire_cap ?loads
+    () =
+  let loads =
+    match loads with
+    | Some l -> l
+    | None -> Ir.fanout_loads d lib ?wire_cap ()
+  in
+  Array.map
+    (fun vdd ->
+      estimate_activity d lib ~toggles ~en_cycles ~cycles ~weight_flips
+        ~freq_hz ~vdd ~loads ())
+    vdds
+
 (** [estimate d lib sim ~freq_hz ~vdd ?wire_cap ?loads ()] — the scalar
     entry point: the toggle statistics of a finished {!Sim} run. [sim]
     must have run at least one cycle. *)

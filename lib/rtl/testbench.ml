@@ -220,10 +220,12 @@ let random_weights rng (m : Macro_rtl.t) ~density =
   Array.init m.words (fun _ ->
       Array.init m.cfg.rows (fun _ -> random_weight rng m ~density))
 
-(** [verify m ~seed ~batches] builds a simulator, loads random weights and
-    checks [batches] random MACs (covering every weight copy). Returns
-    unit or raises {!Mismatch}. *)
-let verify (m : Macro_rtl.t) ~seed ~batches =
+(** [verify_scalar m ~seed ~batches] builds a simulator, loads random
+    weights and checks [batches] random MACs (covering every weight
+    copy), one transaction at a time. Returns unit or raises
+    {!Mismatch}. This is the reference engine the packed sign-off is
+    property-tested against. *)
+let verify_scalar (m : Macro_rtl.t) ~seed ~batches =
   let rng = Rng.create seed in
   let sim = Sim.create m.design in
   if m.cfg.mcr > 1 then Sim.set_bus sim "copy_sel" 0;
@@ -295,6 +297,160 @@ let load_weights_lanes (m : Macro_rtl.t) sim ~copy
     done
   done
 
+(** [run_mac_packed m sim ~inputs] — the bit-sliced mirror of {!run_mac}:
+    one MAC schedule broadcast to every lane, with a distinct input word
+    vector per lane ([inputs.(lane).(row)]). Returns the per-word signed
+    results of the driven lanes only: [results.(lane).(word)]. The
+    [active_bits] runtime-precision contract is identical to the scalar
+    bench's. *)
+let run_mac_packed ?active_bits (m : Macro_rtl.t) sim
+    ~(inputs : int array array) =
+  let ab =
+    match active_bits with
+    | None -> m.db
+    | Some b ->
+        assert (b >= 1 && b <= m.db);
+        assert (not (is_fp m));
+        b
+  in
+  let inputs =
+    if ab = m.db || m.neg_on_last then inputs
+    else Array.map (Array.map (fun v -> v lsl (m.db - ab))) inputs
+  in
+  present_inputs_lanes m sim inputs;
+  set_controls_packed sim ~load:false ~sa_en:false ~sa_clr:false
+    ~sa_neg:false;
+  if is_fp m then Sim_packed.set_bus sim "align_en" 1;
+  for _ = 1 to m.align_lat do
+    Sim_packed.step sim
+  done;
+  if is_fp m then Sim_packed.set_bus sim "align_en" 0;
+  set_controls_packed sim ~load:true ~sa_en:false ~sa_clr:false
+    ~sa_neg:false;
+  Sim_packed.step sim;
+  let last = m.tree_lat + ab - 1 in
+  for k = 0 to last do
+    let first = k = m.tree_lat in
+    let sign_cycle = if m.neg_on_last then k = last else first in
+    set_controls_packed sim ~load:false
+      ~sa_en:(k >= m.tree_lat)
+      ~sa_clr:first
+      ~sa_neg:(sign_cycle && ab > 1);
+    Sim_packed.step sim
+  done;
+  set_controls_packed sim ~load:false ~sa_en:false ~sa_clr:false
+    ~sa_neg:false;
+  for _ = 1 to m.post_lat do
+    Sim_packed.step sim
+  done;
+  Sim_packed.eval sim;
+  let scale = if m.neg_on_last then m.db - ab else 0 in
+  Array.init (Array.length inputs) (fun l ->
+      Array.init m.words (fun g ->
+          Sim_packed.read_bus_signed_lane sim (Printf.sprintf "result%d" g) l
+          asr scale))
+
+(* Judge one lane of a finished packed MAC with {!check_mac}'s exact
+   semantics: FP group exponent first, then words in order; the raised
+   {!Mismatch} carries the same payload the scalar bench would raise for
+   the same transaction. *)
+let judge_mac_lane (m : Macro_rtl.t) sim ~(weights : int array array)
+    ~(inputs : int array) (results : int array) lane =
+  let xs, exp_expected = datapath_inputs m inputs in
+  (match exp_expected with
+  | Some e ->
+      let got = Sim_packed.read_bus_lane sim "group_exp" lane in
+      if got <> e then
+        raise
+          (Mismatch
+             { word = -1; expected = e; got; detail = "group exponent" })
+  | None -> ());
+  Array.iteri
+    (fun g got ->
+      let expected = Golden.dot ~weights:weights.(g) ~inputs:xs in
+      if got <> expected then
+        raise
+          (Mismatch { word = g; expected; got; detail = "word result" }))
+    results
+
+(** [check_mac_packed m sim ~weights ~inputs] — the packed counterpart of
+    {!check_mac}: up to [lanes_of sim] independent MAC transactions
+    settle in one pass, lane [l] checking [weights.(l)] × [inputs.(l)]
+    against {!Golden}. Weights must already be loaded per lane
+    ({!load_weights_lanes}). Lanes are judged in order and the first
+    divergence raises {!Mismatch} with the scalar bench's payload.
+    Returns [results.(lane).(word)]. *)
+let check_mac_packed (m : Macro_rtl.t) sim
+    ~(weights : int array array array) ~(inputs : int array array) =
+  assert (Array.length weights = Array.length inputs);
+  let results = run_mac_packed m sim ~inputs in
+  Array.iteri
+    (fun l r ->
+      judge_mac_lane m sim ~weights:weights.(l) ~inputs:inputs.(l) r l)
+    results;
+  results
+
+(** [verify_packed m ~seed ~batches] — the bit-sliced sign-off engine:
+    the same random weight/input draws as {!verify_scalar} (identical
+    RNG order), but each weight copy's batch of MAC jobs packs
+    {!Sim_packed.lanes} wide, so a whole batch settles per netlist pass.
+    A failing lane is re-run through a fresh scalar simulator for a
+    minimal single-transaction reproducer: if the scalar re-run
+    confirms, its {!Mismatch} is raised verbatim; a packed-only
+    divergence (a lane bug in the engine itself) is raised with an
+    explicit [" (packed-only)"] marker instead of being hidden. *)
+let verify_packed (m : Macro_rtl.t) ~seed ~batches =
+  let rng = Rng.create seed in
+  let psim = Sim_packed.create m.design in
+  if m.cfg.mcr > 1 then Sim_packed.set_bus psim "copy_sel" 0;
+  let n_lanes = Sim_packed.lanes_of psim in
+  let reproduce ~copy ~weights ~inputs ~word ~expected ~got ~detail =
+    let sim = Sim.create m.design in
+    if m.cfg.mcr > 1 then Sim.set_bus sim "copy_sel" 0;
+    load_weights m sim ~copy weights;
+    if m.cfg.mcr > 1 then Sim.set_bus sim "copy_sel" copy;
+    ignore (check_mac m sim ~weights ~inputs);
+    (* the scalar re-run did not reproduce: surface the packed payload *)
+    raise
+      (Mismatch { word; expected; got; detail = detail ^ " (packed-only)" })
+  in
+  for copy = 0 to m.cfg.mcr - 1 do
+    let weights = random_weights rng m ~density:1.0 in
+    load_weights_lanes m psim ~copy [| weights |];
+    if m.cfg.mcr > 1 then Sim_packed.set_bus psim "copy_sel" copy;
+    (* all of the copy's inputs up-front: check_mac performs no draws, so
+       the RNG stream stays bit-identical to the scalar engine's *)
+    let all =
+      Array.init batches (fun _ ->
+          Array.init m.cfg.rows (fun _ -> random_input rng m ~density:1.0))
+    in
+    let pos = ref 0 in
+    while !pos < batches do
+      let n = min n_lanes (batches - !pos) in
+      let chunk = Array.sub all !pos n in
+      let results = run_mac_packed m psim ~inputs:chunk in
+      for l = 0 to n - 1 do
+        try judge_mac_lane m psim ~weights ~inputs:chunk.(l) results.(l) l
+        with Mismatch { word; expected; got; detail } ->
+          reproduce ~copy ~weights ~inputs:chunk.(l) ~word ~expected ~got
+            ~detail
+      done;
+      pos := !pos + n
+    done
+  done
+
+(** [verify ?engine m ~seed ~batches] — functional sign-off: random
+    weights into every copy, [batches] random MACs per copy checked
+    against {!Golden}. Returns unit or raises {!Mismatch}. The default
+    [`Packed] engine batches each copy's MACs as {!Sim_packed} lanes and
+    shrinks any failing lane back to one scalar transaction; [`Scalar]
+    checks one MAC at a time (the reference the equivalence property
+    pins the packed engine against). *)
+let verify ?(engine = `Packed) (m : Macro_rtl.t) ~seed ~batches =
+  match engine with
+  | `Scalar -> verify_scalar m ~seed ~batches
+  | `Packed -> verify_packed m ~seed ~batches
+
 (** [run_stream_packed m sim ~rng ~macs ~input_density] — the bit-sliced
     mirror of {!run_stream}: [macs] back-to-back MACs at full pipeline
     rate in every lane, with an independent random input stream per lane.
@@ -303,16 +459,13 @@ let load_weights_lanes (m : Macro_rtl.t) sim ~copy
     fan-out. Weights must already be loaded ({!load_weights_lanes});
     statistics should be read from [sim] afterwards
     ({!Power.estimate_packed}). *)
-let run_stream_packed (m : Macro_rtl.t) sim ~rng ~macs ~input_density =
+let run_stream_packed_with (m : Macro_rtl.t) sim
+    ~(next_inputs : int -> int array array) ~macs =
   let db = m.db in
-  let n_lanes = Sim_packed.lanes_of sim in
   let total = m.align_lat + (macs * db) + m.tree_lat + m.post_lat + 1 in
   for cyc = 0 to total - 1 do
     if cyc mod db = 0 && cyc / db < macs then
-      present_inputs_lanes m sim
-        (Array.init n_lanes (fun _ ->
-             Array.init m.cfg.rows (fun _ ->
-                 random_input ~realistic:true rng m ~density:input_density)));
+      present_inputs_lanes m sim (next_inputs (cyc / db));
     let load = cyc >= m.align_lat && (cyc - m.align_lat) mod db = 0
                && (cyc - m.align_lat) / db < macs in
     let k = cyc - m.align_lat - 1 - m.tree_lat in
@@ -330,19 +483,26 @@ let run_stream_packed (m : Macro_rtl.t) sim ~rng ~macs ~input_density =
     Sim_packed.step sim
   done
 
-(** [run_stream m sim ~rng ~macs ~input_density] issues [macs] back-to-back
-    MACs at full pipeline rate (one per [db] cycles) for power
-    measurement; weights must already be loaded. Statistics should be read
-    from [sim] afterwards. *)
-let run_stream (m : Macro_rtl.t) sim ~rng ~macs ~input_density =
+let run_stream_packed (m : Macro_rtl.t) sim ~rng ~macs ~input_density =
+  let n_lanes = Sim_packed.lanes_of sim in
+  run_stream_packed_with m sim ~macs ~next_inputs:(fun _ ->
+      Array.init n_lanes (fun _ ->
+          Array.init m.cfg.rows (fun _ ->
+              random_input ~realistic:true rng m ~density:input_density)))
+
+(** [run_stream_with m sim ~next_inputs ~macs] — the replayable core of
+    {!run_stream}: [next_inputs k] supplies MAC [k]'s raw input words, so
+    a caller can drive a pre-drawn stimulus deterministically (the shmoo
+    column batching replays the identical stream through the scalar and
+    the packed engine). *)
+let run_stream_with (m : Macro_rtl.t) sim ~(next_inputs : int -> int array)
+    ~macs =
   let db = m.db in
   let total = m.align_lat + (macs * db) + m.tree_lat + m.post_lat + 1 in
   for cyc = 0 to total - 1 do
     (* present the inputs of MAC i during [i*db, (i+1)*db) *)
     if cyc mod db = 0 && cyc / db < macs then
-      present_inputs m sim
-        (Array.init m.cfg.rows (fun _ ->
-             random_input ~realistic:true rng m ~density:input_density));
+      present_inputs m sim (next_inputs (cyc / db));
     let load = cyc >= m.align_lat && (cyc - m.align_lat) mod db = 0
                && (cyc - m.align_lat) / db < macs in
     let k = cyc - m.align_lat - 1 - m.tree_lat in
@@ -361,3 +521,18 @@ let run_stream (m : Macro_rtl.t) sim ~rng ~macs ~input_density =
     set_controls sim ~load ~sa_en ~sa_clr ~sa_neg;
     Sim.step sim
   done
+
+(** [run_stream m sim ~rng ~macs ~input_density] issues [macs] back-to-back
+    MACs at full pipeline rate (one per [db] cycles) for power
+    measurement; weights must already be loaded. Statistics should be read
+    from [sim] afterwards. *)
+let run_stream (m : Macro_rtl.t) sim ~rng ~macs ~input_density =
+  run_stream_with m sim ~macs ~next_inputs:(fun _ ->
+      Array.init m.cfg.rows (fun _ ->
+          random_input ~realistic:true rng m ~density:input_density))
+
+(** [stream_cycles m ~macs] — total simulated cycles of one
+    {!run_stream}/{!run_stream_packed} run of [macs] MACs; the
+    denominator energy-per-MAC accounting divides by. *)
+let stream_cycles (m : Macro_rtl.t) ~macs =
+  m.align_lat + (macs * m.db) + m.tree_lat + m.post_lat + 1

@@ -52,24 +52,27 @@ let variants (spec : Spec.t) : (string * Macro_rtl.config) list =
        else []);
     ]
 
-(** [check_moves ?jobs ~seed lib spec] — build every variant and check it
-    differentially; one result per move. Variants fan out over the
-    pool. *)
-let check_moves ?jobs ~seed lib (spec : Spec.t) : result list =
+(** [check_moves ?jobs ?engine ~seed lib spec] — build every variant and
+    check it differentially; one result per move. Variants fan out over
+    the pool, and within each variant the random-vector batch packs
+    63-wide through the bit-sliced engine (default [`Packed]); the
+    results are engine- and job-count-invariant. *)
+let check_moves ?jobs ?engine ~seed lib (spec : Spec.t) : result list =
   Pool.parallel_map ?jobs
     (fun (name, cfg) ->
       let m = Macro_rtl.build lib cfg in
-      let o = Diffcheck.check_macro ~seed ~random_batches:1 m in
+      let o = Diffcheck.check_macro ?engine ~seed ~random_batches:1 m in
       match o.Diffcheck.failure with
       | None ->
           { name; ok = true; detail = Printf.sprintf "%d checks" o.Diffcheck.checks }
       | Some f -> { name; ok = false; detail = Diffcheck.describe_failure f })
     (variants spec)
 
-(** [check_equiv_pair ~seed lib spec] — cycle-level equivalence between
-    the base configuration and its latency-preserving tree substitution,
-    through the glitch-proof {!Equiv.check}. *)
-let check_equiv_pair ~seed lib (spec : Spec.t) : result =
+(** [check_equiv_pair ?engine ~seed lib spec] — cycle-level equivalence
+    between the base configuration and its latency-preserving tree
+    substitution, through the glitch-proof {!Equiv.check} (vectors pack
+    as lanes under the default [`Packed] engine). *)
+let check_equiv_pair ?engine ~seed lib (spec : Spec.t) : result =
   let base = Spec.initial_config spec in
   let sub =
     {
@@ -79,7 +82,7 @@ let check_equiv_pair ~seed lib (spec : Spec.t) : result =
   in
   let a = (Macro_rtl.build lib base).Macro_rtl.design in
   let b = (Macro_rtl.build lib sub).Macro_rtl.design in
-  match Equiv.check ~seed ~vectors:12 ~settle:12 ~hold:4 a b with
+  match Equiv.check ?engine ~seed ~vectors:12 ~settle:12 ~hold:4 a b with
   | Equiv.Equivalent n ->
       {
         name = "equiv:tree_substitution";

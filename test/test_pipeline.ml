@@ -39,7 +39,7 @@ let swapped_compile (spec : Spec.t) =
            ~max_eco_iters:p.Pipeline.max_eco_iters)
         sa.Pipeline.macro
     in
-    let* sa = Stage.execute (Pipeline.verify_stage ~enabled:true) sa in
+    let* sa = Stage.execute (Pipeline.verify_stage ~enabled:true ()) sa in
     let* power =
       Stage.execute (Pipeline.power_stage lib ~spec)
         (sa.Pipeline.macro, ba.Pipeline.signoff)
