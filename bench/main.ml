@@ -52,7 +52,7 @@ let json_escape s =
 
 let write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps
     ~signoff_batches ~signoff_scalar_cps ~signoff_packed_cps ~shmoo_lanes
-    ~shmoo_scalar_s ~shmoo_packed_s =
+    ~shmoo_scalar_s ~shmoo_packed_s ~service_cold_s ~service_warm_s =
   let b = Buffer.create 4096 in
   let entry (name, v) =
     Printf.sprintf "    {\"name\": \"%s\", \"value\": %.6g}" (json_escape name) v
@@ -92,6 +92,13 @@ let write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps
        shmoo_lanes shmoo_scalar_s shmoo_packed_s
        (if shmoo_packed_s > 0.0 then shmoo_scalar_s /. shmoo_packed_s
         else 0.0));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"service_warm\": {\"cold_s\": %.6g, \"warm_s\": %.6g, \
+        \"speedup\": %.6g},\n"
+       service_cold_s service_warm_s
+       (if service_warm_s > 0.0 then service_cold_s /. service_warm_s
+        else 0.0));
   Buffer.add_string b "  \"kernels_ns_per_run\": [\n";
   Buffer.add_string b
     (String.concat ",\n" (List.map entry (List.rev !kernel_times)));
@@ -102,33 +109,33 @@ let write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps
   Printf.printf "\nwrote BENCH_RESULTS.json\n%!"
 
 let () =
-  let lib = Library.n40 () in
-  let scl = Scl.create lib in
+  let ctx = Ctx.default () in
+  let lib = Ctx.lib ctx and scl = Ctx.scl ctx in
 
   banner "Table I — comparison with emerging CIM compilers";
-  ignore (time_section "table1" (fun () -> Table1.run lib scl));
+  ignore (time_section "table1" (fun () -> Table1.run ctx));
 
   banner
     "Figure 7 — post-layout energy efficiency vs precision and dimension";
   let dims = if quick then [ 32; 64 ] else [ 32; 64; 128; 256 ] in
-  time_section "fig7" (fun () -> Fig7.print (Fig7.run ~dims lib scl));
+  time_section "fig7" (fun () -> Fig7.print (Fig7.run ~dims ctx));
 
   banner "Figure 8 — Pareto frontier of generated designs (H=W=64, MCR=2)";
-  let fig8 = time_section "fig8" (fun () -> Fig8.run lib scl) in
+  let fig8 = time_section "fig8" (fun () -> Fig8.run ctx) in
   Fig8.print fig8;
 
   banner "Figure 9 — shmoo plot of the compiled test macro";
   time_section "fig9" (fun () ->
-      let a = Compiler.compile lib scl Spec.fig8 in
-      Fig9.print (Fig9.run lib a));
+      let a = Compiler.compile ctx Spec.fig8 in
+      Fig9.print (Fig9.run ctx a));
 
   banner "Table II — comparison with state-of-the-art DCIM macros";
-  time_section "table2" (fun () -> Table2.print (Table2.measure lib scl));
+  time_section "table2" (fun () -> Table2.print (Table2.measure ctx));
 
   banner "Ablation A — adder-tree topologies";
   let heights = if quick then [ 16; 32; 64 ] else [ 16; 32; 64; 128 ] in
   time_section "ablation A" (fun () ->
-      Ablation.print_adder_trees (Ablation.adder_trees ~heights scl));
+      Ablation.print_adder_trees (Ablation.adder_trees ~heights ctx));
 
   banner "Ablation B — search techniques vs target frequency";
   time_section "ablation B" (fun () ->
@@ -136,18 +143,18 @@ let () =
         (Ablation.search_ladder
            ~freqs_mhz:
              (if quick then [ 500.; 800. ] else [ 300.; 500.; 800.; 1100. ])
-           lib scl Spec.fig8));
+           ctx Spec.fig8));
 
   banner "Ablation C — SDP vs scattered placement";
   time_section "ablation C" (fun () ->
       Ablation.print_placements
         (Ablation.placements
            ~dims:(if quick then [ 32; 64 ] else [ 32; 64; 128 ])
-           lib));
+           ctx));
 
   banner "Ablation D — memory-compute ratio";
   time_section "ablation D" (fun () ->
-      Ablation.print_mcr_sweep (Ablation.mcr_sweep lib));
+      Ablation.print_mcr_sweep (Ablation.mcr_sweep ctx));
 
   (* ---------------- parallel sweep comparison ---------------- *)
   banner "Parallel sweep — pareto_sweep wall-clock, jobs=1 vs jobs=N";
@@ -288,7 +295,7 @@ let () =
     let time engine =
       let t0 = Unix.gettimeofday () in
       ignore
-        (Fig9.measure ~engine ~n_lanes:shmoo_lanes ~macs:2 ~jobs:1 lib m
+        (Fig9.measure ~engine ~n_lanes:shmoo_lanes ~macs:2 ~jobs:1 ctx m
            ~crit_ps:950.0);
       Unix.gettimeofday () -. t0
     in
@@ -307,6 +314,48 @@ let () =
       (if packed_s > 0.0 then scalar_s /. packed_s else 0.0);
     (scalar_s, packed_s)
   in
+
+  (* ---------------- warm service vs cold context ---------------- *)
+  banner "Service — cold-context compile vs warm-service repeat compile";
+  let svc_spec = { Spec.fig8 with Spec.rows = 16; cols = 16; mcr = 1 } in
+  let service_cold_s =
+    (* the one-shot cost: a fresh library + empty SCL memo, no compile
+       cache — what a cold CLI invocation pays for the same spec *)
+    let t0 = Unix.gettimeofday () in
+    (match Pipeline.run_cached (Ctx.fresh ()) svc_spec with
+    | Ok _ -> ()
+    | Error d -> raise (Diag.Failed d));
+    Unix.gettimeofday () -. t0
+  in
+  let service_warm_s =
+    let cache_root =
+      Filename.concat (Filename.get_temp_dir_name ())
+        "syndcim-bench-svc-cache"
+    in
+    let svc_ctx =
+      match Ctx.with_cache_dir cache_root (Ctx.fresh ()) with
+      | Ok c -> c
+      | Error d -> raise (Diag.Failed d)
+    in
+    let svc = Service.create svc_ctx in
+    (* request 1 warms the world (characterizes the SCL, fills the
+       compile cache); request 2 is the steady-state service latency *)
+    ignore (Service.compile svc svc_spec);
+    let warm = Service.compile svc svc_spec in
+    (match warm.Service.outcome with
+    | Ok _ -> ()
+    | Error d -> raise (Diag.Failed d));
+    Printf.printf "%s\n" (Service.describe svc);
+    warm.Service.wall_s
+  in
+  Printf.printf
+    "16x16 INT8 spec:\n\
+    \  cold context (fresh library, no cache): %.3f s\n\
+    \  warm service (repeat request):          %.4f s\n\
+     speedup: %.1fx\n\
+     %!"
+    service_cold_s service_warm_s
+    (if service_warm_s > 0.0 then service_cold_s /. service_warm_s else 0.0);
 
   (* ---------------- Bechamel kernels ---------------- *)
   banner "Bechamel — compiler kernel microbenchmarks";
@@ -374,5 +423,5 @@ let () =
     tests;
   write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps
     ~signoff_batches ~signoff_scalar_cps ~signoff_packed_cps ~shmoo_lanes
-    ~shmoo_scalar_s ~shmoo_packed_s;
+    ~shmoo_scalar_s ~shmoo_packed_s ~service_cold_s ~service_warm_s;
   Printf.printf "\nbench: all experiments regenerated.\n"

@@ -1,10 +1,17 @@
 (* SynDCIM command-line driver.
 
    syndcim compile  — spec to signed-off macro, with artifact export
+   syndcim batch    — manifest of specs through the persistent cache
    syndcim exp      — reproduce the paper's tables and figures
    syndcim verify   — differential fuzz campaign, metamorphic properties,
                       PPA snapshot regression
-   syndcim library  — dump the synthetic cell library views (LIB / LEF) *)
+   syndcim library  — dump the synthetic cell library views (LIB / LEF)
+
+   Every compiling subcommand shares one execution-context term
+   ([ctx_term]: --jobs and --scl-cache) and runs through [with_ctx],
+   which validates the job count, builds a [Ctx.t] over the process-wide
+   shared library + SCL memo, merges a persisted SCL LUT in, and saves
+   the warmed LUT back out after the run. *)
 
 open Cmdliner
 
@@ -35,6 +42,70 @@ let preference_conv =
   let print fmt p = Format.pp_print_string fmt (Spec.preference_name p) in
   Arg.conv (parse, print)
 
+(* ---------------- shared execution context ---------------- *)
+
+type ctx_args = { cli_jobs : int option; cli_scl_cache : string option }
+
+(** The one --jobs / --scl-cache pair every compiling subcommand reuses;
+    the doc strings live here once instead of per subcommand. *)
+let ctx_term =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains (default: the SYNDCIM_JOBS environment \
+             variable, then the number of cores). Must be >= 1.")
+  in
+  let scl_cache =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scl-cache" ] ~docv:"FILE"
+          ~doc:
+            "CSV file for the characterized subcircuit-library LUT; \
+             loaded if present, saved after the run.")
+  in
+  let make cli_jobs cli_scl_cache = { cli_jobs; cli_scl_cache } in
+  Term.(const make $ jobs $ scl_cache)
+
+(** [with_ctx a f] — validate the parsed context arguments, build the
+    context over the shared world, merge the persisted SCL LUT, run
+    [f ctx], then persist the warmed LUT (even when [f] fails: the
+    characterization work is valid regardless of the run's verdict). *)
+let with_ctx (a : ctx_args) (f : Ctx.t -> int) : int =
+  let jobs =
+    match a.cli_jobs with
+    | None -> Ok None
+    | Some j -> Result.map Option.some (Ctx.validate_jobs j)
+  in
+  match jobs with
+  | Error d ->
+      (* one-line diagnostic, non-zero exit, never a backtrace *)
+      print_endline (Diag.to_string d);
+      1
+  | Ok jobs ->
+      let ctx = Ctx.default () in
+      let ctx =
+        match jobs with Some j -> Ctx.with_jobs j ctx | None -> ctx
+      in
+      let ctx =
+        match a.cli_scl_cache with
+        | Some p -> Ctx.with_scl_cache p ctx
+        | None -> ctx
+      in
+      (match (a.cli_scl_cache, Ctx.load_scl ctx) with
+      | Some p, n when Sys.file_exists p ->
+          Printf.printf "loaded %d characterized subcircuits from %s\n" n p
+      | _ -> ());
+      let code = f ctx in
+      (match (Ctx.save_scl ctx, a.cli_scl_cache) with
+      | Some n, Some p ->
+          Printf.printf "subcircuit LUT (%d entries) saved to %s\n" n p
+      | _ -> ());
+      code
+
 (* ---------------- compile ---------------- *)
 
 let compile_cmd =
@@ -57,11 +128,6 @@ let compile_cmd =
          & info [ "prefer" ] ~doc:"PPA preference: power, area, performance, balanced.")
   in
   let out = Arg.(value & opt (some string) None & info [ "o"; "out-dir" ] ~doc:"Write netlist.v, placement.def, macro.lib, macro.lef and report.txt here.") in
-  let cache =
-    Arg.(value & opt (some string) None
-         & info [ "scl-cache" ]
-             ~doc:"CSV file for the characterized subcircuit-library LUT;                    loaded if present, saved after the run.")
-  in
   let trace_flag =
     Arg.(value & flag
          & info [ "trace" ]
@@ -77,15 +143,9 @@ let compile_cmd =
          & info [ "inject-fail" ] ~docv:"STAGE"
              ~doc:"Force the named pipeline stage to fail with a                    diagnostic (failure-path test hook).")
   in
-  let run rows cols mcr iprec wprec freq wupd vdd prefer out cache
+  let run ctx_a rows cols mcr iprec wprec freq wupd vdd prefer out
       trace_on dump inject =
-    let lib = Library.n40 () in
-    let scl = Scl.create lib in
-    (match cache with
-    | Some path when Sys.file_exists path ->
-        let n = Persist.load scl path in
-        Printf.printf "loaded %d characterized subcircuits from %s\n" n path
-    | Some _ | None -> ());
+    with_ctx ctx_a @@ fun ctx ->
     let spec =
       {
         Spec.rows; cols; mcr;
@@ -97,32 +157,21 @@ let compile_cmd =
         preference = prefer;
       }
     in
-    let trace =
-      if trace_on || dump <> None then Some (Trace.create ()) else None
-    in
-    let result = Pipeline.run ?trace ?inject lib scl spec in
-    let save_cache () =
-      match cache with
-      | Some path ->
-          Persist.save scl path;
-          Printf.printf "subcircuit LUT (%d entries) saved to %s\n"
-            (Persist.entries scl) path
-      | None -> ()
-    in
+    let svc = Service.create ctx in
+    let req = Service.compile_artifact ?inject svc spec in
+    let lib = Ctx.lib ctx in
     let print_trace () =
-      match trace with
-      | Some t when trace_on ->
-          print_endline "pipeline trace:";
-          print_string (Trace.render t)
-      | _ -> ()
+      if trace_on then begin
+        print_endline "pipeline trace:";
+        print_string (Trace.render req.Service.art_trace)
+      end
     in
-    match result with
+    match req.Service.art_outcome with
     | Error d ->
         (* the structured diagnostic is the report: stage, spec context,
            message, payload — and a non-zero exit, never a backtrace *)
         print_endline (Diag.to_string d);
         print_trace ();
-        save_cache ();
         1
     | Ok r ->
         let a = r.Pipeline.artifact in
@@ -150,7 +199,7 @@ let compile_cmd =
           match dump with
           | None -> true
           | Some (name, dir) -> (
-              match Pipeline.dump_stage lib r ~name ~dir with
+              match Pipeline.dump_stage ctx r ~name ~dir with
               | Ok files ->
                   Printf.printf "stage %s dumped to %s/ (%s)\n" name dir
                     (String.concat ", " files);
@@ -159,12 +208,11 @@ let compile_cmd =
                   print_endline (Diag.to_string d);
                   false)
         in
-        save_cache ();
         if a.Pipeline.timing_closed && dump_ok then 0 else 1
   in
   let term =
-    Term.(const run $ rows $ cols $ mcr $ iprec $ wprec $ freq $ wupd $ vdd
-          $ prefer $ out $ cache $ trace_flag $ dump_stage $ inject)
+    Term.(const run $ ctx_term $ rows $ cols $ mcr $ iprec $ wprec $ freq
+          $ wupd $ vdd $ prefer $ out $ trace_flag $ dump_stage $ inject)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a DCIM macro from a specification")
     term
@@ -181,11 +229,6 @@ let batch_cmd =
     Arg.(value & opt (some (pair ~sep:':' int int)) None
          & info [ "gen" ] ~docv:"SEED:COUNT"
              ~doc:"Generate the batch instead of reading a manifest: COUNT                    stratified specs from the verification fuzzer, deterministic                    in SEED.")
-  in
-  let jobs_arg =
-    Arg.(value & opt (some int) None
-         & info [ "j"; "jobs" ]
-             ~doc:"Worker domains (default: the SYNDCIM_JOBS environment                    variable, then the number of cores). Must be >= 1.")
   in
   let cache_dir =
     Arg.(value & opt string ".syndcim-cache"
@@ -216,15 +259,11 @@ let batch_cmd =
          & info [ "trace" ]
              ~doc:"Print the merged per-stage instrumentation table,                    including one cache row per spec.")
   in
-  let run manifest gen jobs cache_dir no_cache warm manifest_out ppa_out
+  let run ctx_a manifest gen cache_dir no_cache warm manifest_out ppa_out
       trace_on =
+    with_ctx ctx_a @@ fun ctx ->
     let ( let* ) = Result.bind in
     let outcome =
-      let* jobs =
-        match jobs with
-        | None -> Ok None
-        | Some j -> Result.map Option.some (Batch.validate_jobs j)
-      in
       let* specs =
         match (manifest, gen) with
         | Some path, None -> Batch.load_manifest path
@@ -244,33 +283,24 @@ let batch_cmd =
               (Diag.error ~stage:"batch"
                  "no input: give a manifest file or --gen SEED:COUNT")
       in
-      let* cache =
-        if no_cache then Ok None
-        else
-          match Disk_cache.open_root cache_dir with
-          | Ok c -> Ok (Some c)
-          | Error msg ->
-              Error
-                (Diag.error ~stage:"batch"
-                   ~payload:[ ("cache-dir", cache_dir) ]
-                   msg)
+      let* ctx =
+        if no_cache then Ok (Ctx.without_cache ctx)
+        else Ctx.with_cache_dir cache_dir ctx
       in
-      Ok (jobs, specs, cache)
+      Ok (specs, ctx)
     in
     match outcome with
     | Error d ->
-        (* one-line diagnostic, non-zero exit, never a backtrace *)
         print_endline (Diag.to_string d);
         1
-    | Ok (jobs, specs, cache) ->
-        let lib = Library.n40 () in
-        let scl = Scl.create lib in
+    | Ok (specs, ctx) ->
         let trace = if trace_on then Some (Trace.create ()) else None in
-        let r = Batch.run ?jobs ?cache ?trace lib scl specs in
+        let svc = Service.create ctx in
+        let r = Service.batch ?trace svc specs in
         List.iter (fun d -> print_endline (Diag.to_string d)) r.Batch.warnings;
         if not warm then print_string (Batch.render_table r);
         print_endline (Batch.describe r);
-        (match cache with
+        (match Ctx.cache ctx with
         | Some c ->
             Printf.printf "cache: %s (%d entries in %s)\n"
               (Disk_cache.describe (Disk_cache.stats c))
@@ -295,7 +325,7 @@ let batch_cmd =
     (Cmd.info "batch"
        ~doc:"Compile a manifest of specifications through the persistent \
              compile cache")
-    Term.(const run $ manifest $ gen $ jobs_arg $ cache_dir $ no_cache
+    Term.(const run $ ctx_term $ manifest $ gen $ cache_dir $ no_cache
           $ warm $ manifest_out $ ppa_out $ trace_flag)
 
 (* ---------------- experiments ---------------- *)
@@ -309,53 +339,48 @@ let exp_cmd =
   let quick =
     Arg.(value & flag & info [ "quick" ] ~doc:"Smaller dimensions, faster run.")
   in
-  let jobs_arg =
-    Arg.(value & opt (some int) None
-         & info [ "j"; "jobs" ]
-             ~doc:"Worker domains for the parallel sweeps (default: the                    SYNDCIM_JOBS environment variable, then the number of                    cores).")
-  in
   let exp_cache =
     Arg.(value & opt (some string) None
          & info [ "cache-dir" ] ~docv:"DIR"
              ~doc:"Reuse the persistent compile cache for the harness                    compiles that support it (fig8's implemented designs).")
   in
-  let run which quick jobs cache_dir =
-    let lib = Library.n40 () in
-    let scl = Scl.create lib in
-    let disk_cache =
+  let run ctx_a which quick cache_dir =
+    with_ctx ctx_a @@ fun ctx ->
+    let ctx =
       match cache_dir with
-      | None -> None
+      | None -> ctx
       | Some dir -> (
-          match Disk_cache.open_root dir with
-          | Ok c -> Some c
-          | Error msg ->
-              Printf.printf "warning[batch]: %s — running uncached\n" msg;
-              None)
+          match Ctx.with_cache_dir dir ctx with
+          | Ok ctx -> ctx
+          | Error d ->
+              Printf.printf "warning: %s — running uncached\n"
+                (Diag.to_string d);
+              ctx)
     in
     let want name = match which with None -> true | Some w -> w = name in
-    if want "table1" then ignore (Table1.run lib scl);
+    if want "table1" then ignore (Table1.run ctx);
     if want "fig7" then begin
       let dims = if quick then [ 32; 64 ] else [ 32; 64; 128; 256 ] in
-      Fig7.print (Fig7.run ~dims ?jobs lib scl)
+      Fig7.print (Fig7.run ~dims ctx)
     end;
-    if want "fig8" then Fig8.print (Fig8.run ?jobs ?disk_cache lib scl);
+    if want "fig8" then Fig8.print (Fig8.run ctx);
     if want "fig9" then begin
-      let a = Pipeline.artifact_exn (Pipeline.run lib scl Spec.fig8) in
-      Fig9.print (Fig9.run ?jobs lib a)
+      let a = Pipeline.artifact_exn (Pipeline.run ctx Spec.fig8) in
+      Fig9.print (Fig9.run ctx a)
     end;
-    if want "table2" then Table2.print ?jobs (Table2.measure lib scl);
+    if want "table2" then
+      Table2.print ?jobs:(Ctx.jobs ctx) (Table2.measure ctx);
     if want "ablations" then begin
       let heights = if quick then [ 16; 32 ] else [ 16; 32; 64; 128 ] in
-      Ablation.print_adder_trees (Ablation.adder_trees ~heights ?jobs scl);
-      Ablation.print_search_ladder
-        (Ablation.search_ladder ?jobs lib scl Spec.fig8);
+      Ablation.print_adder_trees (Ablation.adder_trees ~heights ctx);
+      Ablation.print_search_ladder (Ablation.search_ladder ctx Spec.fig8);
       let dims = if quick then [ 32 ] else [ 32; 64; 128 ] in
-      Ablation.print_placements (Ablation.placements ~dims ?jobs lib)
+      Ablation.print_placements (Ablation.placements ~dims ctx)
     end;
     0
   in
   Cmd.v (Cmd.info "exp" ~doc:"Reproduce the paper's tables and figures")
-    Term.(const run $ which $ quick $ jobs_arg $ exp_cache)
+    Term.(const run $ ctx_term $ which $ quick $ exp_cache)
 
 (* ---------------- verify ---------------- *)
 
@@ -366,16 +391,12 @@ let verify_cmd =
              ~doc:"Bounded CI smoke run: fixed seed, 200 fuzzed specs,                    injected-bug canary and snapshot diff. Overrides --seed.")
   in
   let seed =
-    Arg.(value & opt int 0xC1A0 & info [ "seed" ] ~doc:"Campaign seed.")
+    Arg.(value & opt int Ctx.default_seed
+         & info [ "seed" ] ~doc:"Campaign seed.")
   in
   let specs =
     Arg.(value & opt int 200
          & info [ "specs" ] ~doc:"Number of fuzzed specifications.")
-  in
-  let jobs_arg =
-    Arg.(value & opt (some int) None
-         & info [ "j"; "jobs" ]
-             ~doc:"Worker domains for the campaign (default: the                    SYNDCIM_JOBS environment variable, then the number of                    cores).")
   in
   let update =
     Arg.(value & flag
@@ -386,12 +407,14 @@ let verify_cmd =
     Arg.(value & opt string (Filename.concat "test" "snapshots")
          & info [ "snapshot-dir" ] ~doc:"Directory holding the PPA snapshot.")
   in
-  let run smoke seed specs jobs update snapdir =
-    let seed, specs = if smoke then (0xC1A0, max 200 specs) else (seed, specs) in
-    let lib = Library.n40 () in
-    let scl = Scl.create lib in
+  let run ctx_a smoke seed specs update snapdir =
+    with_ctx ctx_a @@ fun ctx ->
+    let seed, specs =
+      if smoke then (Ctx.default_seed, max 200 specs) else (seed, specs)
+    in
+    let ctx = Ctx.with_seed seed ctx in
     (* stage 1: differential fuzz campaign + metamorphic properties *)
-    let r = Campaign.run ?jobs ~seed ~count:specs lib scl in
+    let r = Campaign.run ~count:specs ctx in
     print_string (Campaign.describe r);
     List.iter
       (fun d -> print_endline (Diag.to_string d))
@@ -400,7 +423,7 @@ let verify_cmd =
     (* stage 2: canary — an injected retiming bug must be caught and
        shrunk, proving the checker has teeth on this very build *)
     let bug = Diffcheck.Retime_early_sample in
-    let canary = Campaign.run ?jobs ~bug ~seed ~count:8 lib scl in
+    let canary = Campaign.run ~bug ~count:8 ctx in
     let canary_ok = canary.Campaign.failures <> [] in
     (match canary.Campaign.failures with
     | f :: _ ->
@@ -415,11 +438,11 @@ let verify_cmd =
     let snap_ok =
       if update then begin
         Printf.printf "snapshot: recorded %s\n"
-          (Snapshot.update ?jobs ~dir:snapdir lib);
+          (Snapshot.update ~dir:snapdir ctx);
         true
       end
       else
-        match Snapshot.check_diag ?jobs ~dir:snapdir lib with
+        match Snapshot.check_diag ~dir:snapdir ctx with
         | Ok n ->
             Printf.printf "snapshot: %d fingerprints match\n" n;
             true
@@ -440,7 +463,7 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Differential fuzz campaign, metamorphic properties and golden \
              PPA snapshot regression")
-    Term.(const run $ smoke $ seed $ specs $ jobs_arg $ update $ snapdir)
+    Term.(const run $ ctx_term $ smoke $ seed $ specs $ update $ snapdir)
 
 (* ---------------- library ---------------- *)
 
@@ -450,7 +473,7 @@ let library_cmd =
          & info [] ~docv:"VIEW" ~doc:"lib (Liberty timing/power) or lef (geometry)")
   in
   let run view =
-    let lib = Library.n40 () in
+    let lib = Ctx.lib (Ctx.default ()) in
     (match view with
     | "lef" -> print_string (Liberty.lef_text lib)
     | _ -> print_string (Liberty.lib_text lib));

@@ -7,8 +7,12 @@
    Run with: dune exec examples/cloud_npu.exe *)
 
 let () =
-  let lib = Library.n40 () in
-  let scl = Scl.create lib in
+  (* the ladder is a repeat-compile workload, so serve it through a warm
+     [Service]: the library and SCL memo are characterized once and every
+     rung after the first pays only its own search *)
+  let ctx = Ctx.default () in
+  let lib = Ctx.lib ctx in
+  let svc = Service.create ctx in
   let base =
     {
       Spec.rows = 64;
@@ -28,24 +32,29 @@ let () =
   List.iter
     (fun f_mhz ->
       let spec = { base with Spec.mac_freq_hz = f_mhz *. 1e6 } in
-      let a = Compiler.compile lib scl spec in
-      Printf.printf
-        "  %4.0f MHz: %s  (post-layout fmax %.2f GHz, %.2f mW, %d \
-         techniques)\n%!"
-        f_mhz
-        (if a.Compiler.timing_closed then "closed" else "missed")
-        a.Compiler.metrics.Compiler.fmax_ghz
-        (a.Compiler.metrics.Compiler.power_w *. 1e3)
-        (List.length a.Compiler.search.Searcher.applied);
-      if a.Compiler.timing_closed then best := Some (f_mhz, a))
+      let req = Service.compile_artifact svc spec in
+      match req.Service.art_outcome with
+      | Error d -> Printf.printf "  %4.0f MHz: %s\n%!" f_mhz (Diag.to_string d)
+      | Ok r ->
+          let a = r.Pipeline.artifact in
+          Printf.printf
+            "  %4.0f MHz: %s  (post-layout fmax %.2f GHz, %.2f mW, %d \
+             techniques)\n%!"
+            f_mhz
+            (if a.Pipeline.timing_closed then "closed" else "missed")
+            a.Pipeline.metrics.Pipeline.fmax_ghz
+            (a.Pipeline.metrics.Pipeline.power_w *. 1e3)
+            (List.length a.Pipeline.search.Searcher.applied);
+          if a.Pipeline.timing_closed then best := Some (f_mhz, a))
     [ 400.; 600.; 800. ];
+  print_endline (Service.describe svc);
   match !best with
   | None -> print_endline "no frequency closed — lower the ladder"
   | Some (f, a) ->
       Printf.printf "fastest closed spec: %.0f MHz\n" f;
       print_string (Report.to_string lib a);
       (* verify a BF16 MAC end to end, exponent handling included *)
-      let m = a.Compiler.macro in
+      let m = a.Pipeline.macro in
       let sim = Sim.create m.Macro_rtl.design in
       let rng = Rng.create 2024 in
       let weights = Testbench.random_weights rng m ~density:1.0 in

@@ -9,8 +9,8 @@
    Run with: dune exec examples/edge_tinyml.exe *)
 
 let () =
-  let lib = Library.n40 () in
-  let scl = Scl.create lib in
+  let ctx = Ctx.default () in
+  let lib = Ctx.lib ctx in
   let spec =
     {
       Spec.rows = 64;
@@ -26,7 +26,7 @@ let () =
       preference = Spec.Prefer_power;
     }
   in
-  let a = Compiler.compile lib scl spec in
+  let a = Compiler.compile ctx spec in
   print_string (Report.to_string lib a);
   let m = a.Compiler.macro in
   (* sparsity sweep: ReLU networks rarely exceed ~50 % active inputs *)

@@ -6,11 +6,12 @@
    Run with: dune exec examples/explore_pareto.exe *)
 
 let () =
-  let lib = Library.n40 () in
-  let scl = Scl.create lib in
+  let ctx = Ctx.default () in
   let spec = Spec.fig8 in
   Printf.printf "spec: %s\n\n" (Spec.describe spec);
-  let frontier, cloud = Searcher.pareto_sweep lib scl spec in
+  let frontier, cloud =
+    Searcher.pareto_sweep (Ctx.lib ctx) (Ctx.scl ctx) spec
+  in
   Printf.printf "visited %d timing-meeting design points; frontier:\n"
     (List.length cloud);
   List.iter
@@ -30,7 +31,7 @@ let () =
       in
       Printf.printf "  %-28s %s%s\n" name (Design_point.summary p)
         (if dominated then "  << dominated by the frontier" else ""))
-    (Baselines.all lib spec);
+    (Baselines.all ctx spec);
   print_newline ();
   (* a simple text scatter of the cloud: power (x) vs area (y) *)
   print_endline "cloud scatter (x = power, y = area; F = frontier, . = other):";

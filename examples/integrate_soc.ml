@@ -7,8 +7,8 @@
    Run with: dune exec examples/integrate_soc.exe *)
 
 let () =
-  let lib = Library.n40 () in
-  let scl = Scl.create lib in
+  let ctx = Ctx.default () in
+  let lib = Ctx.lib ctx in
   let spec =
     {
       Spec.rows = 32;
@@ -24,7 +24,7 @@ let () =
   in
   (* the searcher decides the architecture; then rebuild the winning
      configuration with the sequencer FSM embedded *)
-  let a = Compiler.compile lib scl spec in
+  let a = Compiler.compile ctx spec in
   let cfg =
     { a.Compiler.search.Searcher.final.Design_point.cfg with
       Macro_rtl.with_controller = true }
@@ -85,6 +85,6 @@ let () =
   in
   dump "cells.lib" (Liberty.lib_text lib);
   dump "cells.lef" (Liberty.lef_text lib);
-  Persist.save scl (Filename.concat dir "scl_lut.csv");
+  Persist.save (Ctx.scl ctx) (Filename.concat dir "scl_lut.csv");
   Printf.printf "hand-off written to %s/: %s\n" dir
     (String.concat ", " (Array.to_list (Sys.readdir dir)))

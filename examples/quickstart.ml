@@ -4,11 +4,13 @@
    Run with: dune exec examples/quickstart.exe *)
 
 let () =
-  (* 1. The technology: a synthetic 40nm-class cell library. *)
-  let lib = Library.n40 () in
-  (* 2. The subcircuit library: PPA look-up tables the searcher consults. *)
-  let scl = Scl.create lib in
-  (* 3. A specification: a 32x32 array, one stored weight copy, INT8
+  (* 1. The execution context: the synthetic 40nm cell library plus the
+     shared subcircuit-library memo (the PPA look-up tables the searcher
+     consults), with engine/jobs/seed defaults. [Ctx.default] reuses one
+     process-wide world, so repeated compiles share characterization. *)
+  let ctx = Ctx.default () in
+  let lib = Ctx.lib ctx in
+  (* 2. A specification: a 32x32 array, one stored weight copy, INT8
      inputs and weights, 700 MHz MAC clock at 0.9 V, balanced PPA. *)
   let spec =
     {
@@ -23,10 +25,10 @@ let () =
       preference = Spec.Balanced;
     }
   in
-  (* 4. Compile: search -> verified netlist -> placed + routed macro. *)
-  let a = Compiler.compile lib scl spec in
+  (* 3. Compile: search -> verified netlist -> placed + routed macro. *)
+  let a = Compiler.compile ctx spec in
   print_string (Report.to_string lib a);
-  (* 5. Use the macro: load a weight matrix, run a MAC, compare with the
+  (* 4. Use the macro: load a weight matrix, run a MAC, compare with the
      plain dot product computed in software. *)
   let m = a.Compiler.macro in
   let sim = Sim.create m.Macro_rtl.design in

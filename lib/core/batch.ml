@@ -208,20 +208,28 @@ type result = {
   warnings : Diag.t list;  (** one per replaced corrupt entry *)
 }
 
-(** [run ?jobs ?cache ?trace lib scl specs] — compile every spec, fanned
-    out over the domain pool. Per-spec failures become [Error] items; the
-    batch itself always completes. Each spec records its stage rows into
-    a private trace, merged into [trace] in manifest order after the
-    pool joins — so the trace (and its fingerprint) is independent of
-    which domain compiled what. *)
-let run ?jobs ?cache ?trace lib scl (specs : Spec.t list) : result =
+(** [run ?jobs ?cache ?trace ctx specs] — compile every spec, fanned out
+    over the domain pool. Jobs, compile cache and trace sink all default
+    to the context's values. Per-spec failures become [Error] items; the
+    batch itself always completes, and warnings are also sent to the
+    context's diagnostic sink. Each spec records its stage rows into a
+    private trace, merged into the batch trace in manifest order after
+    the pool joins — so the trace (and its fingerprint) is independent
+    of which domain compiled what. *)
+let run ?jobs ?cache ?trace (ctx : Ctx.t) (specs : Spec.t list) : result =
   let t0 = Unix.gettimeofday () in
+  let jobs = match jobs with Some j -> Some j | None -> Ctx.jobs ctx in
+  let cache = match cache with Some c -> Some c | None -> Ctx.cache ctx in
+  let trace = match trace with Some t -> Some t | None -> Ctx.trace ctx in
+  (* detach the context's own cache/trace so the per-call values above
+     are the single source of truth inside the fan-out *)
+  let call_ctx = Ctx.without_trace (Ctx.without_cache ctx) in
   let compiled =
     Pool.parallel_map ?jobs
       (fun (index, spec) ->
         let tr = Option.map (fun _ -> Trace.create ()) trace in
         let w0 = Unix.gettimeofday () in
-        let outcome = Pipeline.run_cached ?trace:tr ?cache lib scl spec in
+        let outcome = Pipeline.run_cached ?trace:tr ?cache call_ctx spec in
         let wall_s = Unix.gettimeofday () -. w0 in
         ({ index; spec; outcome; wall_s }, tr))
       (List.mapi (fun i s -> (i, s)) specs)
@@ -257,6 +265,8 @@ let run ?jobs ?cache ?trace lib scl (specs : Spec.t list) : result =
                   "corrupt cache entry replaced (recompiled)"
                 :: !warnings))
     items;
+  let warnings = List.rev !warnings in
+  List.iter (Ctx.emit ctx) warnings;
   {
     items;
     hits = !hits;
@@ -265,7 +275,7 @@ let run ?jobs ?cache ?trace lib scl (specs : Spec.t list) : result =
     uncached = !uncached;
     failed = !failed;
     wall_s = Unix.gettimeofday () -. t0;
-    warnings = List.rev !warnings;
+    warnings;
   }
 
 (* ------------------------------------------------------------------ *)

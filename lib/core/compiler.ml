@@ -38,15 +38,16 @@ let report_macs = Pipeline.report_macs
 let verify_batches = Pipeline.verify_batches
 let compute_metrics = Pipeline.compute_metrics
 
-(** [compile lib scl spec] runs the whole staged pipeline. Raises
-    {!Verification_failed} if the generated netlist ever disagrees with
-    the golden model, {!Diag.Failed} on any other stage diagnostic. With
-    [retry] (default), a post-layout miss re-runs the search against a
-    tightened internal clock (up to ~1.2x). *)
+(** [compile ctx spec] runs the whole staged pipeline over the context's
+    library and shared SCL memo. Raises {!Verification_failed} if the
+    generated netlist ever disagrees with the golden model,
+    {!Diag.Failed} on any other stage diagnostic. With [retry] (default),
+    a post-layout miss re-runs the search against a tightened internal
+    clock (up to ~1.2x). *)
 let compile ?(style = Floorplan.Sdp) ?(verify = true) ?(retry = true)
-    (lib : Library.t) scl (spec : Spec.t) : artifact =
+    (ctx : Ctx.t) (spec : Spec.t) : artifact =
   let policy = { Pipeline.default_policy with Pipeline.verify; retry } in
-  match Pipeline.run ~style ~policy lib scl spec with
+  match Pipeline.run ~style ~policy ctx spec with
   | Ok r -> r.Pipeline.artifact
   | Error d when Diag.stage d = Pipeline.stage_verify ->
       raise (Verification_failed (Diag.message d))

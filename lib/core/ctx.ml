@@ -1,0 +1,197 @@
+(** The execution context: one immutable value bundling everything a
+    compilation needs beyond its {!Spec.t} — the characterized cell
+    library, the shared subcircuit-library memo, the domain-pool width,
+    the simulation-engine choices, default seeds, the persistent compile
+    cache and the trace/diagnostic sinks.
+
+    Every layer threads a [Ctx.t]: {!Pipeline.run}, {!Batch.run}, the
+    {!Service} facade, the seven [Eval] harnesses and the [Verify]
+    campaign stack all take a context instead of hand-assembled
+    [lib]/[scl]/[?jobs]/[?engine]/[?cache] arguments. Per-call optional
+    arguments still exist where a caller genuinely wants to deviate for
+    one call (e.g. an engine-equivalence test), but they default to the
+    context's values, so constructing two contexts is all it takes to run
+    two corners — or two tenants — side by side.
+
+    {2 Ownership rules}
+
+    - [lib] and [scl] are shared and safe to share: the library is
+      immutable after {!Library.n40} builds it, and the SCL memo is
+      mutex-guarded ({!Scl.memo}), so any number of domains — and any
+      number of contexts built over the same pair — may compile
+      concurrently. {!default} returns contexts over one process-wide
+      memoized pair; {!fresh} builds an isolated pair (first compile
+      re-characterizes).
+    - [cache] (the persistent compile cache) is append-only,
+      content-addressed and crash-safe ({!Disk_cache}); sharing one root
+      across contexts and processes is the intended mode.
+    - Netlists are {e not} part of the context and are never cached by
+      it: an ECO pass mutates cell drives in place ({!Sizing.speed_up}),
+      so a [Macro_rtl.t] belongs to exactly one compilation. Only
+      metrics-level summaries enter the compile cache.
+    - [trace] is a mutable row sink; give each concurrent request its own
+      ([?trace] override or {!with_trace}) — the batch driver already
+      records per-spec traces and merges them in manifest order. *)
+
+type engine = [ `Scalar | `Packed ]
+
+let engine_name = function `Scalar -> "scalar" | `Packed -> "packed"
+
+type t = {
+  lib : Library.t;  (** the characterized cell library (immutable) *)
+  scl : Scl.t;  (** shared subcircuit-library memo (mutex-guarded) *)
+  jobs : int option;
+      (** domain-pool width; [None] = [SYNDCIM_JOBS], then core count *)
+  engine : engine;
+      (** batch simulation engine for sweeps/diffing (default [`Packed]) *)
+  verify_engine : engine;
+      (** sign-off verification engine (default [`Packed]) *)
+  seed : int;  (** default seed for fuzz campaigns and stimulus *)
+  cache : Disk_cache.t option;  (** persistent compile cache, if open *)
+  scl_cache : string option;
+      (** CSV path for SCL LUT persistence ({!load_scl}/{!save_scl}) *)
+  trace : Trace.t option;  (** default instrumentation sink *)
+  on_diag : (Diag.t -> unit) option;
+      (** out-of-band diagnostic sink (warnings from batch/service) *)
+}
+
+let default_seed = 0xC1A0
+
+(* The process-wide library + SCL pair behind [default ()]. Mutex-guarded
+   rather than [lazy] because two domains may race the first call. *)
+let shared_world : (Library.t * Scl.t) option ref = ref None
+let shared_lock = Mutex.create ()
+
+let shared_pair () =
+  Mutex.protect shared_lock (fun () ->
+      match !shared_world with
+      | Some pair -> pair
+      | None ->
+          let lib = Library.n40 () in
+          let pair = (lib, Scl.create lib) in
+          shared_world := Some pair;
+          pair)
+
+let make (lib, scl) =
+  {
+    lib;
+    scl;
+    jobs = None;
+    engine = `Packed;
+    verify_engine = `Packed;
+    seed = default_seed;
+    cache = None;
+    scl_cache = None;
+    trace = None;
+    on_diag = None;
+  }
+
+(** [default ()] — a context over the process-wide shared library and
+    SCL memo: every [default] context reuses the same characterization
+    work. This is what the CLI, bench and examples construct. *)
+let default () = make (shared_pair ())
+
+(** [fresh ()] — a context over a brand-new library and empty SCL memo,
+    isolated from every other context (first compile re-characterizes).
+    For tests that must observe cold-memo behaviour, and for tenants
+    that need hard isolation. *)
+let fresh () =
+  let lib = Library.n40 () in
+  make (lib, Scl.create lib)
+
+(** [of_parts lib scl] — wrap an existing pair (e.g. a test that built
+    its own library) in a context. *)
+let of_parts lib scl = make (lib, scl)
+
+(* ---------------- accessors ---------------- *)
+
+let lib t = t.lib
+let scl t = t.scl
+let jobs t = t.jobs
+let engine t = t.engine
+let verify_engine t = t.verify_engine
+let seed t = t.seed
+let cache t = t.cache
+let trace t = t.trace
+
+(** [scl_stats t] — the shared memo's hit/miss/entry counters. *)
+let scl_stats t = Scl.stats t.scl
+
+(* ---------------- builders ---------------- *)
+
+(** [with_jobs j t] — pin the domain-pool width. Raises
+    [Invalid_argument] on [j < 1]; CLI layers validate first
+    ({!validate_jobs}). *)
+let with_jobs j t =
+  if j < 1 then invalid_arg "Ctx.with_jobs: jobs must be >= 1";
+  { t with jobs = Some j }
+
+(** [validate_jobs j] — the CLI-facing check: [--jobs 0] is a user
+    error carried as a diagnostic, not an exception. *)
+let validate_jobs (j : int) : (int, Diag.t) Stdlib.result =
+  if j >= 1 then Ok j
+  else
+    Error
+      (Diag.error ~stage:"ctx"
+         ~payload:[ ("jobs", string_of_int j) ]
+         "jobs must be >= 1")
+
+let with_engine engine t = { t with engine }
+let with_verify_engine verify_engine t = { t with verify_engine }
+
+(** [with_engines e t] — set both the sweep and sign-off engines. *)
+let with_engines e t = { t with engine = e; verify_engine = e }
+
+let with_seed seed t = { t with seed }
+let with_trace tr t = { t with trace = Some tr }
+let without_trace t = { t with trace = None }
+let with_diag_sink f t = { t with on_diag = Some f }
+
+(** [emit t d] — send a diagnostic to the context's sink, if any. *)
+let emit t d = match t.on_diag with Some f -> f d | None -> ()
+
+let with_cache c t = { t with cache = Some c }
+let without_cache t = { t with cache = None }
+
+(** [with_cache_dir dir t] — open (creating if missing) a persistent
+    compile cache under [dir] and attach it. The error is a one-line
+    diagnostic, as the CLI reports it. *)
+let with_cache_dir dir t : (t, Diag.t) Stdlib.result =
+  match Disk_cache.open_root dir with
+  | Ok c -> Ok { t with cache = Some c }
+  | Error msg ->
+      Error (Diag.error ~stage:"ctx" ~payload:[ ("cache-dir", dir) ] msg)
+
+let with_scl_cache path t = { t with scl_cache = Some path }
+
+(* ---------------- SCL LUT persistence ---------------- *)
+
+(** [load_scl t] — merge the persisted SCL LUT into the shared memo, if
+    the context names a CSV that exists. Returns the number of entries
+    loaded (0 when no path is set or the file is absent — a cold first
+    run is not an error). *)
+let load_scl t : int =
+  match t.scl_cache with
+  | Some path when Sys.file_exists path -> Persist.load t.scl path
+  | Some _ | None -> 0
+
+(** [save_scl t] — persist the shared memo to the context's CSV, if a
+    path is set. Returns the entry count written ([None] when no path
+    is configured). *)
+let save_scl t : int option =
+  match t.scl_cache with
+  | Some path ->
+      Persist.save t.scl path;
+      Some (Persist.entries t.scl)
+  | None -> None
+
+(** [describe t] — one line of context configuration, for logs. *)
+let describe t =
+  Printf.sprintf
+    "ctx: jobs=%s engine=%s verify=%s seed=0x%X cache=%s scl-cache=%s"
+    (match t.jobs with Some j -> string_of_int j | None -> "auto")
+    (engine_name t.engine)
+    (engine_name t.verify_engine)
+    t.seed
+    (match t.cache with Some c -> Disk_cache.root c | None -> "off")
+    (match t.scl_cache with Some p -> p | None -> "off")

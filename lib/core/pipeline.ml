@@ -428,17 +428,23 @@ let metrics_stage lib ~(policy : policy) :
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-(** [run ?style ?policy ?verify_engine ?trace ?inject lib scl spec] —
-    thread the five stages, re-running the whole pipeline under the retry
-    policy when the metrics stage asks for a boost. Every stage execution
-    (across every attempt) appends a row to [trace]; [inject] forces the
-    named stage to fail, for exercising the diagnostic path.
-    [verify_engine] selects the sign-off simulation engine (default
-    [`Packed]); both engines produce bit-identical verdicts, so the
-    choice never changes the compiled artifact. *)
-let run ?(style = Floorplan.Sdp) ?(policy = default_policy)
-    ?(verify_engine = `Packed) ?trace ?inject lib scl (spec : Spec.t) :
+(** [run ?style ?policy ?verify_engine ?trace ?inject ctx spec] — thread
+    the five stages over the context's library and shared SCL memo,
+    re-running the whole pipeline under the retry policy when the metrics
+    stage asks for a boost. Every stage execution (across every attempt)
+    appends a row to the trace ([?trace] overrides the context's sink);
+    [inject] forces the named stage to fail, for exercising the
+    diagnostic path. [verify_engine] selects the sign-off simulation
+    engine (default: the context's); both engines produce bit-identical
+    verdicts, so the choice never changes the compiled artifact. *)
+let run ?(style = Floorplan.Sdp) ?(policy = default_policy) ?verify_engine
+    ?trace ?inject (ctx : Ctx.t) (spec : Spec.t) :
     (run, Diag.t) Stdlib.result =
+  let lib = Ctx.lib ctx and scl = Ctx.scl ctx in
+  let verify_engine =
+    match verify_engine with Some e -> e | None -> Ctx.verify_engine ctx
+  in
+  let trace = match trace with Some t -> Some t | None -> Ctx.trace ctx in
   let exec s x = Stage.execute ?trace ?inject s x in
   let budget_ps = Spec.nominal_budget_ps spec lib.Library.node in
   let rec attempt acc boost =
@@ -606,25 +612,31 @@ let add_cache_row trace ~ok ~wall_ms ~cells ~crit_out_ps ~hit ~boost ~note =
           note;
         }
 
-(** [run_cached ?style ?policy ?trace ?inject ?cache lib scl spec] —
-    {!run} behind the persistent compile cache. With [cache] given, the
-    spec's content address is looked up first: a hit skips every stage
-    and reconstructs the {!summary} from the store (appending a single
-    [cache] trace row); a miss — including a corrupt entry, which is
-    diagnosed but never fatal — runs the full pipeline and stores the
-    result. Without [cache] this is exactly [run] plus summarization. *)
+(** [run_cached ?style ?policy ?trace ?inject ?cache ctx spec] — {!run}
+    behind the persistent compile cache. The cache defaults to the
+    context's ([?cache] overrides for one call; detach with
+    {!Ctx.without_cache}). With a cache attached, the spec's content
+    address is looked up first: a hit skips every stage and reconstructs
+    the {!summary} from the store (appending a single [cache] trace
+    row); a miss — including a corrupt entry, which is diagnosed but
+    never fatal — runs the full pipeline and stores the result. Without
+    a cache this is exactly [run] plus summarization. *)
 let run_cached ?(style = Floorplan.Sdp) ?(policy = default_policy)
-    ?verify_engine ?trace ?inject ?cache lib scl (spec : Spec.t) :
+    ?verify_engine ?trace ?inject ?cache (ctx : Ctx.t) (spec : Spec.t) :
     (summary, Diag.t) Stdlib.result =
+  let trace = match trace with Some t -> Some t | None -> Ctx.trace ctx in
+  let cache =
+    match cache with Some c -> Some c | None -> Ctx.cache ctx
+  in
   match cache with
   | None ->
-      let* r = run ~style ~policy ?verify_engine ?trace ?inject lib scl spec in
+      let* r = run ~style ~policy ?verify_engine ?trace ?inject ctx spec in
       Ok (summary_of_run r)
   | Some dc -> (
       let t0 = Unix.gettimeofday () in
       let k =
         Disk_cache.key
-          ~lib_fp:(Disk_cache.library_fingerprint lib)
+          ~lib_fp:(Disk_cache.library_fingerprint (Ctx.lib ctx))
           ~algo:(cache_algo_tag ~style policy)
           spec
       in
@@ -651,7 +663,7 @@ let run_cached ?(style = Floorplan.Sdp) ?(policy = default_policy)
           add_cache_row trace ~ok:true ~wall_ms ~cells:None ~crit_out_ps:None
             ~hit:false ~boost:None ~note;
           let* r =
-            run ~style ~policy ?verify_engine ?trace ?inject lib scl spec
+            run ~style ~policy ?verify_engine ?trace ?inject ctx spec
           in
           let s = { (summary_of_run r) with sum_cache = outcome } in
           Disk_cache.store dc k (cache_value_of_summary s);
@@ -661,17 +673,23 @@ let run_cached ?(style = Floorplan.Sdp) ?(policy = default_policy)
 (* Stage-level entry points for the experiment harnesses               *)
 (* ------------------------------------------------------------------ *)
 
-(** [search_only ?trace lib scl spec] — run just the search stage. *)
-let search_only ?trace lib scl (spec : Spec.t) :
+(** [search_only ?trace ctx spec] — run just the search stage. *)
+let search_only ?trace (ctx : Ctx.t) (spec : Spec.t) :
     (search_art, Diag.t) Stdlib.result =
-  Stage.execute ?trace (search_stage lib scl ~boost:1.0) spec
-
-(** [backend_once ?trace ?spec lib ~style macro] — one place/route/sign-off
-    pass with no ECO re-closure (infinite budget, zero iterations). *)
-let backend_once ?trace ?spec lib ~style (macro : Macro_rtl.t) :
-    (backend_art, Diag.t) Stdlib.result =
+  let trace = match trace with Some t -> Some t | None -> Ctx.trace ctx in
   Stage.execute ?trace
-    (backend_stage lib ~style ?spec ~budget_ps:infinity ~max_eco_iters:0)
+    (search_stage (Ctx.lib ctx) (Ctx.scl ctx) ~boost:1.0)
+    spec
+
+(** [backend_once ?trace ?spec ctx ~style macro] — one
+    place/route/sign-off pass with no ECO re-closure (infinite budget,
+    zero iterations). *)
+let backend_once ?trace ?spec (ctx : Ctx.t) ~style (macro : Macro_rtl.t) :
+    (backend_art, Diag.t) Stdlib.result =
+  let trace = match trace with Some t -> Some t | None -> Ctx.trace ctx in
+  Stage.execute ?trace
+    (backend_stage (Ctx.lib ctx) ~style ?spec ~budget_ps:infinity
+       ~max_eco_iters:0)
     macro
 
 (* ------------------------------------------------------------------ *)
@@ -695,11 +713,12 @@ let rec mkdirs dir =
     Sys.mkdir dir 0o755
   end
 
-(** [dump_stage lib r ~name ~dir] — serialize the named stage's artifact
+(** [dump_stage ctx r ~name ~dir] — serialize the named stage's artifact
     (netlist + stats, floorplan DEF, STA summary with the ECO record,
     power breakdown, metrics) into [dir]; returns the files written. *)
-let dump_stage lib (r : run) ~name ~dir :
+let dump_stage (ctx : Ctx.t) (r : run) ~name ~dir :
     (string list, Diag.t) Stdlib.result =
+  let lib = Ctx.lib ctx in
   let a = r.artifact in
   Diag.guard ~stage:name ~spec:a.spec (fun () ->
       mkdirs dir;

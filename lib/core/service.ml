@@ -1,0 +1,174 @@
+(** The warm compile service: one process-resident facade over a
+    {!Ctx.t} that serves repeated compile and batch requests from a
+    warmed world — the library characterized once, the shared SCL memo
+    growing monotonically, the persistent compile cache held open — with
+    cumulative hit/miss accounting and a per-request instrumentation
+    trace.
+
+    This is the first serving-shaped API: where a CLI invocation
+    rebuilds the world per call, a service constructed once keeps it hot,
+    so request latency drops from "characterize + compile" to "compile"
+    (and to a cache lookup when the compile cache already holds the
+    spec). Two tenants — or two corners — are two services over two
+    contexts; nothing is global.
+
+    Ownership follows {!Ctx}: the service never hands out netlists from
+    a cache (ECO mutates them), and every request gets its own private
+    {!Trace.t}, so concurrent requests never share a mutable sink. The
+    cumulative counters are mutex-guarded. *)
+
+type stats = {
+  requests : int;  (** compile requests served (batch items included) *)
+  cache_hits : int;  (** served from the persistent compile cache *)
+  compiled : int;  (** ran the full pipeline (miss/corrupt/uncached) *)
+  failures : int;  (** requests that returned a diagnostic *)
+  wall_s : float;  (** cumulative request wall clock *)
+  scl : Scl.stats;  (** the shared subcircuit memo's counters *)
+}
+
+type t = {
+  ctx : Ctx.t;
+  lock : Mutex.t;
+  mutable requests : int;
+  mutable cache_hits : int;
+  mutable compiled : int;
+  mutable failures : int;
+  mutable wall_s : float;
+  mutable next_id : int;
+}
+
+(** One served compile request: the metrics-level outcome plus the
+    request's own stage trace (cache row included on cached paths). *)
+type request = {
+  id : int;  (** monotonically increasing per service *)
+  outcome : (Pipeline.summary, Diag.t) Stdlib.result;
+  trace : Trace.t;  (** this request's private instrumentation rows *)
+  wall_s : float;
+}
+
+(** [create ctx] — bring the world up: force the shared library pair,
+    merge the persisted SCL LUT if the context names one
+    ({!Ctx.load_scl}), and hold the compile cache open. Returns a
+    service with zeroed counters. *)
+let create (ctx : Ctx.t) : t =
+  ignore (Ctx.load_scl ctx);
+  {
+    ctx;
+    lock = Mutex.create ();
+    requests = 0;
+    cache_hits = 0;
+    compiled = 0;
+    failures = 0;
+    wall_s = 0.0;
+    next_id = 0;
+  }
+
+let ctx t = t.ctx
+
+let account t ~(outcome : (Pipeline.summary, Diag.t) Stdlib.result) ~wall_s
+    =
+  Mutex.protect t.lock (fun () ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      t.requests <- t.requests + 1;
+      t.wall_s <- t.wall_s +. wall_s;
+      (match outcome with
+      | Ok s -> (
+          match s.Pipeline.sum_cache with
+          | Pipeline.Cache_hit -> t.cache_hits <- t.cache_hits + 1
+          | Pipeline.Cache_miss | Pipeline.Cache_corrupt _
+          | Pipeline.Cache_off ->
+              t.compiled <- t.compiled + 1)
+      | Error d ->
+          t.failures <- t.failures + 1;
+          Ctx.emit t.ctx d);
+      id)
+
+(** [compile t spec] — serve one metrics-level compilation through the
+    warm context and the compile cache. Every request gets a fresh
+    private trace; failures are accounted, sent to the context's
+    diagnostic sink, and returned — a bad spec never takes the service
+    down. *)
+let compile ?style ?policy ?verify_engine (t : t) (spec : Spec.t) : request
+    =
+  let tr = Trace.create () in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Pipeline.run_cached ?style ?policy ?verify_engine ~trace:tr t.ctx spec
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let id = account t ~outcome ~wall_s in
+  { id; outcome; trace = tr; wall_s }
+
+(** Full-artifact variant of {!compile}, for callers that need the
+    netlist and layout (the CLI's [compile] subcommand, artifact
+    export). Never served from the compile cache — artifacts cannot be
+    reconstructed from a metrics-level entry — but still warms and
+    reuses the shared SCL memo, and still accounts the request. *)
+type artifact_request = {
+  art_id : int;
+  art_outcome : (Pipeline.run, Diag.t) Stdlib.result;
+  art_trace : Trace.t;
+  art_wall_s : float;
+}
+
+let compile_artifact ?style ?policy ?verify_engine ?inject (t : t)
+    (spec : Spec.t) : artifact_request =
+  let tr = Trace.create () in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Pipeline.run ?style ?policy ?verify_engine ?inject ~trace:tr t.ctx spec
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let summary_view =
+    Result.map Pipeline.summary_of_run outcome
+  in
+  let id = account t ~outcome:summary_view ~wall_s in
+  { art_id = id; art_outcome = outcome; art_trace = tr; art_wall_s = wall_s }
+
+(** [batch ?jobs t specs] — fan a whole manifest out over the domain
+    pool through the warm context (jobs defaults to the context's), and
+    fold the per-item cache outcomes into the service's cumulative
+    counters. The returned {!Batch.result} is exactly what
+    {!Batch.run} produces — manifest order, per-spec isolation,
+    deterministic PPA rendering. *)
+let batch ?jobs ?trace (t : t) (specs : Spec.t list) : Batch.result =
+  let t0 = Unix.gettimeofday () in
+  let r = Batch.run ?jobs ?trace t.ctx specs in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Mutex.protect t.lock (fun () ->
+      let n = List.length r.Batch.items in
+      t.next_id <- t.next_id + n;
+      t.requests <- t.requests + n;
+      t.cache_hits <- t.cache_hits + r.Batch.hits;
+      t.compiled <-
+        t.compiled + r.Batch.misses + r.Batch.corrupt + r.Batch.uncached;
+      t.failures <- t.failures + r.Batch.failed;
+      t.wall_s <- t.wall_s +. wall_s);
+  r
+
+let stats (t : t) : stats =
+  Mutex.protect t.lock (fun () ->
+      {
+        requests = t.requests;
+        cache_hits = t.cache_hits;
+        compiled = t.compiled;
+        failures = t.failures;
+        wall_s = t.wall_s;
+        scl = Scl.stats (Ctx.scl t.ctx);
+      })
+
+(** [describe t] — the cumulative service counters as one line. *)
+let describe (t : t) : string =
+  let s = stats t in
+  Printf.sprintf
+    "service: %d request(s) — %d cache hit(s), %d compiled, %d failed, \
+     %.2f s; scl memo: %s"
+    s.requests s.cache_hits s.compiled s.failures s.wall_s
+    (Scl.describe_stats s.scl)
+
+(** [close t] — persist the warmed SCL LUT if the context names a CSV
+    ({!Ctx.save_scl}); the compile cache needs no closing (entries are
+    written atomically as they are produced). Returns the entry count
+    written, if persistence is configured. *)
+let close (t : t) : int option = Ctx.save_scl t.ctx

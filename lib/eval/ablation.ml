@@ -32,7 +32,9 @@ let tree_menu_with_baseline =
   (Scl.tree_baseline :: Scl.tree_menu)
   @ [ Adder_tree.Csa { fa_ratio = 1.0; reorder = false } ]
 
-let adder_trees ?(heights = [ 16; 32; 64; 128 ]) ?jobs scl =
+let adder_trees ?(heights = [ 16; 32; 64; 128 ]) ?jobs (ctx : Ctx.t) =
+  let scl = Ctx.scl ctx in
+  let jobs = match jobs with Some j -> Some j | None -> Ctx.jobs ctx in
   let grid =
     List.concat_map
       (fun rows -> List.map (fun t -> (rows, t)) tree_menu_with_baseline)
@@ -79,13 +81,14 @@ type search_point = {
   area_mm2 : float;
 }
 
-let search_ladder ?(freqs_mhz = [ 300.; 500.; 800.; 1100. ]) ?jobs lib scl
-    (base : Spec.t) =
+let search_ladder ?(freqs_mhz = [ 300.; 500.; 800.; 1100. ]) ?jobs
+    (ctx : Ctx.t) (base : Spec.t) =
+  let jobs = match jobs with Some j -> Some j | None -> Ctx.jobs ctx in
   Pool.parallel_map ?jobs
     (fun f ->
       let spec = { base with Spec.mac_freq_hz = f *. 1e6 } in
       let r =
-        match Pipeline.search_only lib scl spec with
+        match Pipeline.search_only ctx spec with
         | Ok sa -> sa.Pipeline.search
         | Error d -> raise (Diag.Failed d)
       in
@@ -133,7 +136,10 @@ type mcr_point = {
     background weight updates. Power streams through the bit-sliced
     Monte Carlo path by default ([engine = `Packed], 63 replicas per
     grid point); [`Scalar] keeps the single-replica reference run. *)
-let mcr_sweep ?(dim = 32) ?(engine = `Packed) ?jobs lib =
+let mcr_sweep ?(dim = 32) ?engine ?jobs (ctx : Ctx.t) =
+  let lib = Ctx.lib ctx in
+  let engine = match engine with Some e -> e | None -> Ctx.engine ctx in
+  let jobs = match jobs with Some j -> Some j | None -> Ctx.jobs ctx in
   let grid =
     List.concat_map
       (fun mcr ->
@@ -207,7 +213,9 @@ type placement_point = {
   area_mm2 : float;
 }
 
-let placements ?(dims = [ 32; 64; 128 ]) ?jobs lib =
+let placements ?(dims = [ 32; 64; 128 ]) ?jobs (ctx : Ctx.t) =
+  let lib = Ctx.lib ctx in
+  let jobs = match jobs with Some j -> Some j | None -> Ctx.jobs ctx in
   let grid =
     List.concat_map
       (fun dim ->
@@ -224,7 +232,7 @@ let placements ?(dims = [ 32; 64; 128 ]) ?jobs lib =
       in
       let m = Macro_rtl.build lib cfg in
       let s =
-        match Pipeline.backend_once lib ~style m with
+        match Pipeline.backend_once ctx ~style m with
         | Ok ba -> ba.Pipeline.signoff
         | Error d -> raise (Diag.Failed d)
       in

@@ -52,10 +52,10 @@ let spec ~dim ~input_prec ~weight_prec : Spec.t =
     preference = Spec.Prefer_power;
   }
 
-let run_point lib scl ~dim ~name ~input_prec ~weight_prec =
+let run_point ctx ~dim ~name ~input_prec ~weight_prec =
   let a =
     Pipeline.artifact_exn
-      (Pipeline.run lib scl (spec ~dim ~input_prec ~weight_prec))
+      (Pipeline.run ctx (spec ~dim ~input_prec ~weight_prec))
   in
   let m = a.Pipeline.metrics in
   {
@@ -68,16 +68,18 @@ let run_point lib scl ~dim ~name ~input_prec ~weight_prec =
     closed = a.Pipeline.timing_closed;
   }
 
-(** [run lib scl ~dims] computes the full figure; [dims] defaults to the
+(** [run ctx ~dims] computes the full figure; [dims] defaults to the
     paper's four sizes. The (dimension, precision) grid points are
-    independent compilations, so they fan out over the domain pool. *)
-let run ?(dims = [ 32; 64; 128; 256 ]) ?jobs lib scl =
+    independent compilations, so they fan out over the domain pool
+    (width from the context unless [?jobs] overrides). *)
+let run ?(dims = [ 32; 64; 128; 256 ]) ?jobs (ctx : Ctx.t) =
+  let jobs = match jobs with Some j -> Some j | None -> Ctx.jobs ctx in
   let grid =
     List.concat_map (fun dim -> List.map (fun p -> (dim, p)) precisions) dims
   in
   Pool.parallel_map ?jobs
     (fun (dim, (name, ip, wp)) ->
-      run_point lib scl ~dim ~name ~input_prec:ip ~weight_prec:wp)
+      run_point ctx ~dim ~name ~input_prec:ip ~weight_prec:wp)
     grid
 
 let table points =

@@ -24,17 +24,25 @@ type result = {
       (** hit/miss counters of the sweep's shared evaluation cache *)
 }
 
-(** [run ?jobs ?trace ?disk_cache lib scl] — the sweep fans out over a
+(** [run ?jobs ?trace ?disk_cache ctx] — the sweep fans out over a
     domain pool and the four selected designs go through the staged
     pipeline in parallel as well; each back-end compile searches its own
-    configuration, so they share no mutable state. [trace] collects the
-    baseline evaluations' stage rows; [disk_cache] lets a repeated
-    harness run serve the four implemented designs straight from the
-    persistent compile cache. *)
-let run ?jobs ?trace ?disk_cache lib scl =
+    configuration, so they share no mutable state. Jobs, trace and the
+    persistent compile cache all default to the context's values;
+    [disk_cache] overrides the latter so a repeated harness run can
+    serve the four implemented designs straight from a dedicated
+    cache. *)
+let run ?jobs ?trace ?disk_cache (ctx : Ctx.t) =
+  let jobs = match jobs with Some j -> Some j | None -> Ctx.jobs ctx in
+  let trace = match trace with Some t -> Some t | None -> Ctx.trace ctx in
+  let disk_cache =
+    match disk_cache with Some c -> Some c | None -> Ctx.cache ctx
+  in
   let spec = Spec.fig8 in
   let cache = Eval_cache.create () in
-  let frontier, cloud = Searcher.pareto_sweep ?jobs ~cache lib scl spec in
+  let frontier, cloud =
+    Searcher.pareto_sweep ?jobs ~cache (Ctx.lib ctx) (Ctx.scl ctx) spec
+  in
   let implemented =
     Pool.parallel_map ?jobs
       (fun preference ->
@@ -42,7 +50,8 @@ let run ?jobs ?trace ?disk_cache lib scl =
           preference = Spec.preference_name preference;
           summary =
             (match
-               Pipeline.run_cached ?cache:disk_cache lib scl
+               Pipeline.run_cached ?cache:disk_cache
+                 (Ctx.without_cache ctx)
                  { spec with Spec.preference }
              with
             | Ok s -> s
@@ -53,7 +62,7 @@ let run ?jobs ?trace ?disk_cache lib scl =
         Spec.Balanced;
       ]
   in
-  let baseline_points = Baselines.all ?trace lib spec in
+  let baseline_points = Baselines.all ?trace ctx spec in
   {
     frontier;
     cloud;

@@ -36,11 +36,13 @@ let shmoo ?(vdds = default_vdds) ?(freqs_mhz = default_freqs_mhz) ?jobs node
   in
   { crit_ps; vdds; freqs_mhz; pass }
 
-(** [run lib artifact] derives the shmoo of a compiled macro — any
+(** [run ctx artifact] derives the shmoo of a compiled macro — any
     pipeline artifact works, so an experiment can reuse the compile
     another harness already ran. *)
-let run ?jobs lib (a : Pipeline.artifact) =
-  shmoo ?jobs lib.Library.node ~crit_ps:a.Pipeline.metrics.Pipeline.crit_ps
+let run ?jobs (ctx : Ctx.t) (a : Pipeline.artifact) =
+  let jobs = match jobs with Some j -> Some j | None -> Ctx.jobs ctx in
+  shmoo ?jobs (Ctx.lib ctx).Library.node
+    ~crit_ps:a.Pipeline.metrics.Pipeline.crit_ps
 
 (** [vdd_index t ~vdd] — grid row of supply [vdd], [None] when the grid
     has no such row (within 1 µV). *)
@@ -129,8 +131,13 @@ type measured = {
     Columns fan out over the pool; the fanout-load map is built once
     and shared by every column and engine. *)
 let measure ?(vdds = default_vdds) ?(freqs_mhz = default_freqs_mhz)
-    ?(engine = `Packed) ?(n_lanes = Sim_packed.lanes) ?(seed = 0xF19)
-    ?(macs = 4) ?jobs lib (m : Macro_rtl.t) ~crit_ps =
+    ?engine ?(n_lanes = Sim_packed.lanes) ?(seed = 0xF19) ?(macs = 4) ?jobs
+    (ctx : Ctx.t) (m : Macro_rtl.t) ~crit_ps =
+  let lib = Ctx.lib ctx in
+  let engine =
+    match engine with Some e -> e | None -> Ctx.engine ctx
+  in
+  let jobs = match jobs with Some j -> Some j | None -> Ctx.jobs ctx in
   let grid = shmoo ~vdds ~freqs_mhz ?jobs lib.Library.node ~crit_ps in
   let d = m.Macro_rtl.design in
   let loads = Ir.fanout_loads d lib () in
@@ -203,8 +210,9 @@ let measure ?(vdds = default_vdds) ?(freqs_mhz = default_freqs_mhz)
   in
   { grid; energy_fj }
 
-(** [run_measured lib artifact] — {!measure} on a compiled artifact's
+(** [run_measured ctx artifact] — {!measure} on a compiled artifact's
     macro and signed-off critical path. *)
-let run_measured ?engine ?n_lanes ?jobs lib (a : Pipeline.artifact) =
-  measure ?engine ?n_lanes ?jobs lib a.Pipeline.macro
+let run_measured ?engine ?n_lanes ?jobs (ctx : Ctx.t)
+    (a : Pipeline.artifact) =
+  measure ?engine ?n_lanes ?jobs ctx a.Pipeline.macro
     ~crit_ps:a.Pipeline.metrics.Pipeline.crit_ps

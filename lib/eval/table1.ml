@@ -33,9 +33,9 @@ type evidence = {
   techniques_applied : int;  (** spec-driven moves in the last search *)
 }
 
-(** [demonstrate lib scl] runs each SynDCIM feature on a small spec and
+(** [demonstrate ctx] runs each SynDCIM feature on a small spec and
     reports what actually happened. *)
-let demonstrate lib scl =
+let demonstrate (ctx : Ctx.t) =
   let spec =
     {
       Spec.fig8 with
@@ -45,11 +45,11 @@ let demonstrate lib scl =
       mcr = 2;
     }
   in
-  let a = Pipeline.artifact_exn (Pipeline.run lib scl spec) in
+  let a = Pipeline.artifact_exn (Pipeline.run ctx spec) in
   let fp_spec =
     { spec with Spec.input_prec = Precision.fp8; mac_freq_hz = 500e6 }
   in
-  let fp = Pipeline.artifact_exn (Pipeline.run lib scl fp_spec) in
+  let fp = Pipeline.artifact_exn (Pipeline.run ctx fp_spec) in
   {
     end_to_end_signoff =
       a.Pipeline.signoff.Post_layout.lvs.Lvs.clean
@@ -97,8 +97,8 @@ let table (e : evidence) =
       ]
     rows
 
-let run lib scl =
-  let e = demonstrate lib scl in
+let run (ctx : Ctx.t) =
+  let e = demonstrate ctx in
   print_endline "Table I — comparison with emerging CIM compilers";
   Table.print (table e);
   Printf.printf

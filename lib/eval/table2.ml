@@ -34,8 +34,9 @@ let chip_spec : Spec.t =
     preference = Spec.Prefer_power;
   }
 
-let measure lib scl : this_design =
-  let a = Pipeline.artifact_exn (Pipeline.run lib scl chip_spec) in
+let measure (ctx : Ctx.t) : this_design =
+  let lib = Ctx.lib ctx in
+  let a = Pipeline.artifact_exn (Pipeline.run ctx chip_spec) in
   let node = lib.Library.node in
   let crit = a.Pipeline.metrics.Pipeline.crit_ps in
   let m = a.Pipeline.macro in

@@ -14,18 +14,46 @@ type t = {
   lib : Library.t;
   table : (key, Ppa.t) Hashtbl.t;
   lock : Mutex.t;
-      (** guards [table]: parallel searcher domains share one SCL, and a
-          plain Hashtbl is not safe under concurrent lookup/insert *)
+      (** guards [table] and the memo counters: parallel searcher domains
+          share one SCL, and a plain Hashtbl is not safe under concurrent
+          lookup/insert *)
+  mutable hits : int;  (** memo lookups served from [table] *)
+  mutable misses : int;  (** memo lookups that characterized *)
 }
 
-let create lib = { lib; table = Hashtbl.create 256; lock = Mutex.create () }
+(** Memo counters, so a shared SCL can show it is actually being reused
+    (e.g. the second compile through one {!Ctx} reports hits > 0). *)
+type stats = { hits : int; misses : int; entries : int }
+
+let create lib =
+  { lib; table = Hashtbl.create 256; lock = Mutex.create ();
+    hits = 0; misses = 0 }
+
+let stats t : stats =
+  Mutex.protect t.lock (fun () ->
+      { hits = t.hits; misses = t.misses;
+        entries = Hashtbl.length t.table })
+
+let describe_stats (s : stats) =
+  Printf.sprintf "%d hit(s) / %d miss(es), %d characterized entr%s" s.hits
+    s.misses s.entries
+    (if s.entries = 1 then "y" else "ies")
 
 (* Characterization runs outside the lock (it is the expensive part and
    may itself build netlists); two domains racing on a cold key both
-   characterize, and the first insert wins — harmless because entries are
-   deterministic functions of the key. *)
+   characterize (both counting a miss), and the first insert wins —
+   harmless because entries are deterministic functions of the key. *)
 let memo t key f =
-  match Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key) with
+  match
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some v ->
+            t.hits <- t.hits + 1;
+            Some v
+        | None ->
+            t.misses <- t.misses + 1;
+            None)
+  with
   | Some v -> v
   | None ->
       let v = f () in

@@ -52,20 +52,24 @@ let tally (results : Metamorph.result list) : property list =
     results;
   List.rev_map (Hashtbl.find table) !order
 
-(** [run ?jobs ?bug ?random_batches ?meta_stride ~seed ~count lib scl] —
-    the full campaign. [bug] injects a datapath fault into every
-    differential check (the self-test mode: the campaign must then report
-    failures and shrink them); metamorphic properties only run on clean
-    campaigns, on every [meta_stride]-th spec. *)
-let run ?jobs ?bug ?(random_batches = 2) ?(meta_stride = 25) ~seed ~count
-    lib scl : report =
+(** [run ?jobs ?bug ?random_batches ?meta_stride ?seed ~count ctx] —
+    the full campaign over the context's library. [bug] injects a
+    datapath fault into every differential check (the self-test mode:
+    the campaign must then report failures and shrink them);
+    metamorphic properties only run on clean campaigns, on every
+    [meta_stride]-th spec. The job count and campaign seed default to
+    the context's. *)
+let run ?jobs ?bug ?(random_batches = 2) ?(meta_stride = 25) ?seed ~count
+    (ctx : Ctx.t) : report =
+  let jobs = match jobs with Some j -> Some j | None -> Ctx.jobs ctx in
+  let seed = match seed with Some s -> s | None -> Ctx.seed ctx in
   let specs = Specgen.generate ~seed ~count in
   let indexed = List.mapi (fun i s -> (i, s)) specs in
   let outcomes =
     Pool.parallel_map ?jobs
       (fun (i, s) ->
         (i, s, Diffcheck.check_spec ?bug ~random_batches
-                 ~seed:(spec_seed ~seed i) lib s))
+                 ~seed:(spec_seed ~seed i) ctx s))
       indexed
   in
   let checks =
@@ -82,7 +86,7 @@ let run ?jobs ?bug ?(random_batches = 2) ?(meta_stride = 25) ~seed ~count
         | None -> None
         | Some f ->
             let fails =
-              Diffcheck.fails ?bug ~seed:(spec_seed ~seed i) lib
+              Diffcheck.fails ?bug ~seed:(spec_seed ~seed i) ctx
             in
             let shrunk, shrink_steps =
               Specgen.shrink_to_minimal ~fails s
@@ -109,12 +113,12 @@ let run ?jobs ?bug ?(random_batches = 2) ?(meta_stride = 25) ~seed ~count
       let moves =
         Pool.parallel_map ?jobs
           (fun (i, s) ->
-            Metamorph.check_moves ~jobs:1 ~seed:(spec_seed ~seed i) lib s
-            @ [ Metamorph.check_equiv_pair ~seed:(spec_seed ~seed i) lib s ])
+            Metamorph.check_moves ~jobs:1 ~seed:(spec_seed ~seed i) ctx s
+            @ [ Metamorph.check_equiv_pair ~seed:(spec_seed ~seed i) ctx s ])
           meta_specs
         |> List.concat
       in
-      tally (moves @ Metamorph.lut_monotonicity lib scl)
+      tally (moves @ Metamorph.lut_monotonicity ctx)
     end
   in
   { seed; specs = count; checks; failures; properties }

@@ -422,26 +422,30 @@ let check_macro ?(engine = `Packed) ?bug ~seed ~random_batches
   | `Scalar -> check_macro_scalar ?bug ~seed ~random_batches m
   | `Packed -> check_macro_packed ?bug ~seed ~random_batches m
 
-(** [check_spec ?engine ?bug ?random_batches ~seed lib spec] — compile
-    the spec's initial configuration and check it differentially. This
-    is the unit of work a fuzz campaign fans out over the pool; with the
-    default packed engine each unit settles its whole vector batch in
-    one lane-parallel pass. *)
-let check_spec ?engine ?bug ?(random_batches = 2) ~seed lib
+(** [check_spec ?engine ?bug ?random_batches ~seed ctx spec] — compile
+    the spec's initial configuration over the context's library and
+    check it differentially. This is the unit of work a fuzz campaign
+    fans out over the pool; the engine defaults to the context's
+    verification engine, and with the packed engine each unit settles
+    its whole vector batch in one lane-parallel pass. *)
+let check_spec ?engine ?bug ?(random_batches = 2) ~seed (ctx : Ctx.t)
     (spec : Spec.t) : outcome =
-  let m = Macro_rtl.build lib (Spec.initial_config spec) in
-  check_macro ?engine ?bug ~seed ~random_batches m
+  let engine =
+    match engine with Some e -> e | None -> Ctx.verify_engine ctx
+  in
+  let m = Macro_rtl.build (Ctx.lib ctx) (Spec.initial_config spec) in
+  check_macro ~engine ?bug ~seed ~random_batches m
 
-(** [fails ?bug ~seed lib spec] — predicate form for the shrinker. *)
-let fails ?bug ~seed lib spec =
-  (check_spec ?bug ~seed lib spec).failure <> None
+(** [fails ?bug ~seed ctx spec] — predicate form for the shrinker. *)
+let fails ?bug ~seed (ctx : Ctx.t) spec =
+  (check_spec ?bug ~seed ctx spec).failure <> None
 
-(** [check_spec_result ?bug ~seed lib spec] — result form: the number of
+(** [check_spec_result ?bug ~seed ctx spec] — result form: the number of
     comparisons performed, or the first divergence as a diagnostic.
     Callers assert on the diagnostic instead of catching exceptions. *)
-let check_spec_result ?bug ?random_batches ~seed lib (spec : Spec.t) :
-    (int, Diag.t) Stdlib.result =
-  let o = check_spec ?bug ?random_batches ~seed lib spec in
+let check_spec_result ?bug ?random_batches ~seed (ctx : Ctx.t)
+    (spec : Spec.t) : (int, Diag.t) Stdlib.result =
+  let o = check_spec ?bug ?random_batches ~seed ctx spec in
   match o.failure with
   | None -> Ok o.checks
   | Some f -> Error (diag_of_failure spec f)

@@ -47,9 +47,14 @@ let canonical_specs : (string * Spec.t) list =
     mk ~mcr:2 ~rows:32 ~cols:32 ~mhz:800.0 "int8_32x32_mcr2_800MHz";
   ]
 
-(** [fingerprint ?jobs lib specs] — evaluate each spec's initial
-    configuration; order follows the input list for any job count. *)
-let fingerprint ?jobs lib (specs : (string * Spec.t) list) : entry list =
+(** [fingerprint ?jobs ctx specs] — evaluate each spec's initial
+    configuration over the context's library; order follows the input
+    list for any job count (width from the context unless [?jobs]
+    overrides). *)
+let fingerprint ?jobs (ctx : Ctx.t) (specs : (string * Spec.t) list) :
+    entry list =
+  let jobs = match jobs with Some j -> Some j | None -> Ctx.jobs ctx in
+  let lib = Ctx.lib ctx in
   Pool.parallel_map ?jobs
     (fun (name, s) ->
       let p = Design_point.evaluate lib s (Spec.initial_config s) in
@@ -128,14 +133,14 @@ let load path =
   close_in ic;
   s
 
-(** [check ?jobs ~dir lib] — compare current fingerprints against the
+(** [check ?jobs ~dir ctx] — compare current fingerprints against the
     snapshot file under [dir]; [Ok checked] or [Error report]. A missing
     snapshot file is an error naming the update command. *)
 let file = "ppa.snap"
 
-let check ?jobs ~dir lib : (int, string) Stdlib.result =
+let check ?jobs ~dir (ctx : Ctx.t) : (int, string) Stdlib.result =
   let path = Filename.concat dir file in
-  let actual = render (fingerprint ?jobs lib canonical_specs) in
+  let actual = render (fingerprint ?jobs ctx canonical_specs) in
   if not (Sys.file_exists path) then
     Error
       (Printf.sprintf
@@ -147,11 +152,11 @@ let check ?jobs ~dir lib : (int, string) Stdlib.result =
     | None -> Ok (List.length canonical_specs)
     | Some report -> Error report
 
-(** [check_diag ?jobs ~dir lib] — {!check} with the mismatch carried as a
+(** [check_diag ?jobs ~dir ctx] — {!check} with the mismatch carried as a
     structured diagnostic (stage ["snapshot"], per-spec payload), so the
     CLI reports it through the same channel as pipeline diagnostics. *)
-let check_diag ?jobs ~dir lib : (int, Diag.t) Stdlib.result =
-  match check ?jobs ~dir lib with
+let check_diag ?jobs ~dir (ctx : Ctx.t) : (int, Diag.t) Stdlib.result =
+  match check ?jobs ~dir ctx with
   | Ok n -> Ok n
   | Error report ->
       Error
@@ -159,7 +164,7 @@ let check_diag ?jobs ~dir lib : (int, Diag.t) Stdlib.result =
            ~payload:[ ("dir", dir); ("file", file) ]
            report)
 
-(** [update ?jobs ~dir lib] — re-record the snapshot; returns the path. *)
+(** [update ?jobs ~dir ctx] — re-record the snapshot; returns the path. *)
 let rec mkdirs dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
   then begin
@@ -167,8 +172,8 @@ let rec mkdirs dir =
     Sys.mkdir dir 0o755
   end
 
-let update ?jobs ~dir lib : string =
+let update ?jobs ~dir (ctx : Ctx.t) : string =
   mkdirs dir;
   let path = Filename.concat dir file in
-  save path (render (fingerprint ?jobs lib canonical_specs));
+  save path (render (fingerprint ?jobs ctx canonical_specs));
   path

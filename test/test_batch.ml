@@ -7,6 +7,7 @@
 
 let lib = Library.n40 ()
 let scl = Scl.create lib
+let ctx = Ctx.of_parts lib scl
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_str = Alcotest.(check string)
@@ -248,7 +249,7 @@ let test_corrupt_entry_recompiled () =
   let dir = scratch () in
   let c = open_cache dir in
   let s1 =
-    match Pipeline.run_cached ~cache:c lib scl small_spec with
+    match Pipeline.run_cached ~cache:c ctx small_spec with
     | Ok s -> s
     | Error d -> Alcotest.fail (Diag.to_string d)
   in
@@ -260,7 +261,7 @@ let test_corrupt_entry_recompiled () =
          small_spec)
   in
   write_file path (String.sub (read_file path) 0 40);
-  let r = Batch.run ~jobs:1 ~cache:c lib scl [ small_spec ] in
+  let r = Batch.run ~jobs:1 ~cache:c ctx [ small_spec ] in
   check_int "batch completed" 0 r.Batch.failed;
   check_int "corrupt entry recompiled" 1 r.Batch.corrupt;
   (match r.Batch.warnings with
@@ -275,7 +276,7 @@ let test_corrupt_entry_recompiled () =
         (s2.Pipeline.sum_metrics = s1.Pipeline.sum_metrics)
   | _ -> Alcotest.fail "unexpected batch items");
   (* the store is repaired: next run hits *)
-  (match Pipeline.run_cached ~cache:c lib scl small_spec with
+  (match Pipeline.run_cached ~cache:c ctx small_spec with
   | Ok s3 ->
       check_bool "repaired entry hits" true (s3.Pipeline.sum_cache = Pipeline.Cache_hit);
       check_bool "hit reproduces the metrics" true
@@ -377,14 +378,14 @@ let test_batch_determinism () =
   let c = open_cache dir in
   let n = List.length canonical_specs in
   (* cold: every spec compiles and is stored *)
-  let r_cold = Batch.run ~jobs:2 ~cache:c lib scl canonical_specs in
+  let r_cold = Batch.run ~jobs:2 ~cache:c ctx canonical_specs in
   check_int "cold: no failures" 0 r_cold.Batch.failed;
   check_int "cold: all misses" n r_cold.Batch.misses;
   let ppa_cold = Batch.render_ppa r_cold in
   (* warm, jobs=1 and jobs=4: all hits, identical PPA, identical traces *)
   let t1 = Trace.create () and t4 = Trace.create () in
-  let r_w1 = Batch.run ~jobs:1 ~cache:c ~trace:t1 lib scl canonical_specs in
-  let r_w4 = Batch.run ~jobs:4 ~cache:c ~trace:t4 lib scl canonical_specs in
+  let r_w1 = Batch.run ~jobs:1 ~cache:c ~trace:t1 ctx canonical_specs in
+  let r_w4 = Batch.run ~jobs:4 ~cache:c ~trace:t4 ctx canonical_specs in
   check_int "warm j1: all hits" n r_w1.Batch.hits;
   check_int "warm j4: all hits" n r_w4.Batch.hits;
   check_str "warm j1 PPA == cold PPA" ppa_cold (Batch.render_ppa r_w1);
@@ -393,7 +394,7 @@ let test_batch_determinism () =
     (Trace.fingerprint t4);
   check_int "warm trace: one cache row per spec" n (Trace.length t4);
   (* no cache at all: same numbers *)
-  let r_nc = Batch.run ~jobs:4 lib scl canonical_specs in
+  let r_nc = Batch.run ~jobs:4 ctx canonical_specs in
   check_int "no-cache: all uncached" n r_nc.Batch.uncached;
   check_str "no-cache PPA == cold PPA" ppa_cold (Batch.render_ppa r_nc);
   rm_rf dir
@@ -402,7 +403,7 @@ let test_failed_spec_is_an_item () =
   (* a malformed spec fails its own item with a diagnostic; the batch
      and the other items complete *)
   let bad = { small_spec with Spec.mcr = 3 } in
-  let r = Batch.run ~jobs:2 lib scl [ small_spec; bad ] in
+  let r = Batch.run ~jobs:2 ctx [ small_spec; bad ] in
   check_int "one failure" 1 r.Batch.failed;
   match List.rev r.Batch.items with
   | { Batch.outcome = Error d; _ } :: _ ->

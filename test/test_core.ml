@@ -2,6 +2,7 @@
 
 let lib = Library.n40 ()
 let scl = Scl.create lib
+let ctx = Ctx.of_parts lib scl
 let check_bool = Alcotest.(check bool)
 
 let spec ?(rows = 16) ?(cols = 16) ?(freq = 700e6)
@@ -19,7 +20,7 @@ let spec ?(rows = 16) ?(cols = 16) ?(freq = 700e6)
   }
 
 let test_compile_int () =
-  let a = Compiler.compile lib scl (spec ()) in
+  let a = Compiler.compile ctx (spec ()) in
   check_bool "timing closed" true a.Compiler.timing_closed;
   check_bool "signoff clean" true
     (a.Compiler.signoff.Post_layout.lvs.Lvs.clean
@@ -34,14 +35,14 @@ let test_compile_int () =
     (a.Compiler.metrics.Compiler.fmax_ghz >= 0.7)
 
 let test_compile_fp () =
-  let a = Compiler.compile lib scl (spec ~ip:Precision.fp8 ~freq:500e6 ()) in
+  let a = Compiler.compile ctx (spec ~ip:Precision.fp8 ~freq:500e6 ()) in
   check_bool "fp closes" true a.Compiler.timing_closed;
   (* FP macro has the aligner in its breakdown *)
   check_bool "aligner in power breakdown" true
     (List.mem_assoc "fp_align" a.Compiler.power.Power.by_subcircuit)
 
 let test_compiled_macro_computes () =
-  let a = Compiler.compile lib scl (spec ()) in
+  let a = Compiler.compile ctx (spec ()) in
   let m = a.Compiler.macro in
   let sim = Sim.create m.Macro_rtl.design in
   Sim.set_bus sim "copy_sel" 0;
@@ -58,20 +59,20 @@ let test_compiled_macro_computes () =
 let test_verification_gate () =
   (* the compiler refuses nothing when verify is off, and verification is
      actually exercised when on (smoke: both paths return) *)
-  let a = Compiler.compile ~verify:false lib scl (spec ~freq:300e6 ()) in
+  let a = Compiler.compile ~verify:false ctx (spec ~freq:300e6 ()) in
   check_bool "unverified compile still signs off" true
     a.Compiler.signoff.Post_layout.lvs.Lvs.clean
 
 let test_scattered_style () =
   let a =
-    Compiler.compile ~style:Floorplan.Scattered lib scl (spec ~freq:300e6 ())
+    Compiler.compile ~style:Floorplan.Scattered ctx (spec ~freq:300e6 ())
   in
   check_bool "scattered signs off" true
     a.Compiler.signoff.Post_layout.lvs.Lvs.clean
 
 let test_metrics_consistency () =
   let s = spec () in
-  let a = Compiler.compile lib scl s in
+  let a = Compiler.compile ctx s in
   let m = a.Compiler.metrics in
   check_bool "tops/w = tops / power" true
     (Float.abs (m.Compiler.tops_per_w -. (m.Compiler.tops /. m.Compiler.power_w))
@@ -85,7 +86,7 @@ let test_metrics_consistency () =
   Alcotest.(check (float 1e-9)) "ops norm for int8xint8" 64.0 m.Compiler.ops_norm
 
 let test_report_renders () =
-  let a = Compiler.compile lib scl (spec ~freq:300e6 ()) in
+  let a = Compiler.compile ctx (spec ~freq:300e6 ()) in
   let s = Report.to_string lib a in
   check_bool "report non-trivial" true (String.length s > 300);
   let contains needle =
@@ -98,7 +99,7 @@ let test_report_renders () =
 
 let test_fig8_spec_closes () =
   (* the paper's headline spec must close end to end *)
-  let a = Compiler.compile lib scl Spec.fig8 in
+  let a = Compiler.compile ctx Spec.fig8 in
   check_bool "800MHz@0.9V closes post-layout" true a.Compiler.timing_closed;
   (* and the silicon-validation points hold: >= 1 GHz at 1.2 V *)
   let fmax12 =

@@ -3,6 +3,7 @@
 
 let lib = Library.n40 ()
 let scl = Scl.create lib
+let ctx = Ctx.of_parts lib scl
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
@@ -22,7 +23,7 @@ let small_spec =
   }
 
 let test_baselines_run_and_verify () =
-  let all = Baselines.all lib small_spec in
+  let all = Baselines.all ctx small_spec in
   check_int "three baselines" 3 (List.length all);
   List.iter
     (fun (_, (p : Design_point.t)) ->
@@ -50,7 +51,7 @@ let test_compressor_baseline_lower_power_than_rca () =
 (* ---------------- Table I ---------------- *)
 
 let test_table1 () =
-  let e = Table1.demonstrate lib scl in
+  let e = Table1.demonstrate ctx in
   check_bool "end-to-end demonstrated" true e.Table1.end_to_end_signoff;
   check_bool "FP demonstrated" true e.Table1.fp_compile_verified;
   check_bool "every subcircuit selectable" true
@@ -63,7 +64,7 @@ let test_table1 () =
 (* ---------------- Fig 7 (small) ---------------- *)
 
 let test_fig7_shape () =
-  let points = Fig7.run ~dims:[ 16; 32 ] lib scl in
+  let points = Fig7.run ~dims:[ 16; 32 ] ctx in
   check_int "grid size" 8 (List.length points);
   (* efficiency grows with array size for each precision *)
   List.iter
@@ -122,7 +123,7 @@ let test_fig9_shmoo_shape () =
 
 let test_table2_rows_shape () =
   (* rows render for the published designs plus a synthetic this-design *)
-  let a = Compiler.compile lib scl small_spec in
+  let a = Compiler.compile ctx small_spec in
   let d =
     {
       Table2.artifact = a;
@@ -144,7 +145,7 @@ let test_table2_rows_shape () =
 (* ---------------- ablations (small) ---------------- *)
 
 let test_ablation_adder_trees () =
-  let pts = Ablation.adder_trees ~heights:[ 16; 32 ] scl in
+  let pts = Ablation.adder_trees ~heights:[ 16; 32 ] ctx in
   check_bool "rows present" true (List.length pts >= 10);
   (* at each height the RCA baseline is the slowest topology *)
   List.iter
@@ -166,7 +167,7 @@ let test_ablation_adder_trees () =
     [ 16; 32 ]
 
 let test_ablation_placements () =
-  let pts = Ablation.placements ~dims:[ 16 ] lib in
+  let pts = Ablation.placements ~dims:[ 16 ] ctx in
   check_int "two styles" 2 (List.length pts);
   let get style =
     List.find (fun (p : Ablation.placement_point) -> p.Ablation.style = style) pts
@@ -176,7 +177,7 @@ let test_ablation_placements () =
 
 let test_ablation_search_ladder () =
   let pts =
-    Ablation.search_ladder ~freqs_mhz:[ 300.; 900. ] lib scl
+    Ablation.search_ladder ~freqs_mhz:[ 300.; 900. ] ctx
       { small_spec with Spec.rows = 16; cols = 16 }
   in
   check_int "two rungs" 2 (List.length pts);
@@ -187,7 +188,7 @@ let test_ablation_search_ladder () =
     >= List.length p300.Ablation.techniques)
 
 let test_ablation_mcr () =
-  let pts = Ablation.mcr_sweep ~dim:16 lib in
+  let pts = Ablation.mcr_sweep ~dim:16 ctx in
   let tg mcr =
     List.find
       (fun (p : Ablation.mcr_point) ->
@@ -229,7 +230,7 @@ let test_fig8_machinery () =
              front
       in
       check_bool "searcher at least matches baseline" true beaten)
-    (Baselines.all lib small_spec)
+    (Baselines.all ctx small_spec)
 
 let () =
   Alcotest.run "eval"

@@ -237,8 +237,8 @@ let test_compile_deterministic () =
   let spec =
     { Spec.fig8 with Spec.rows = 16; cols = 16; mac_freq_hz = 600e6 }
   in
-  let a = Compiler.compile lib scl1 spec in
-  let b = Compiler.compile lib scl2 spec in
+  let a = Compiler.compile (Ctx.of_parts lib scl1) spec in
+  let b = Compiler.compile (Ctx.of_parts lib scl2) spec in
   check_bool "same power" true
     (Float.abs (a.Compiler.metrics.Compiler.power_w
                 -. b.Compiler.metrics.Compiler.power_w)
@@ -258,7 +258,7 @@ let test_compile_no_retry_flag () =
     { Spec.fig8 with Spec.rows = 16; cols = 16; mac_freq_hz = 600e6 }
   in
   (* with retry disabled the call still completes and reports honestly *)
-  let a = Compiler.compile ~retry:false lib scl spec in
+  let a = Compiler.compile ~retry:false (Ctx.of_parts lib scl) spec in
   check_bool "report exists" true
     (a.Compiler.metrics.Compiler.crit_ps > 0.0)
 

@@ -7,6 +7,7 @@
 
 let lib = Library.n40 ()
 let scl = Scl.create lib
+let ctx = Ctx.of_parts lib scl
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let gen_spec seed = List.hd (Specgen.generate ~seed ~count:1)
@@ -130,8 +131,8 @@ let test_injected_bug_caught_with_scalar_reproducer () =
    produce identical metrics and verdicts. *)
 let test_pipeline_verify_engine_invariant () =
   let spec = snd (List.hd Snapshot.canonical_specs) in
-  let a = Pipeline.artifact_exn (Pipeline.run ~verify_engine:`Scalar lib scl spec) in
-  let b = Pipeline.artifact_exn (Pipeline.run ~verify_engine:`Packed lib scl spec) in
+  let a = Pipeline.artifact_exn (Pipeline.run ~verify_engine:`Scalar ctx spec) in
+  let b = Pipeline.artifact_exn (Pipeline.run ~verify_engine:`Packed ctx spec) in
   check_bool "metrics identical" true (a.Pipeline.metrics = b.Pipeline.metrics);
   check_bool "verdict identical" true
     (a.Pipeline.timing_closed = b.Pipeline.timing_closed)
@@ -140,9 +141,9 @@ let test_pipeline_verify_engine_invariant () =
 
 let test_check_moves_engine_and_jobs_invariant () =
   let spec = snd (List.hd Snapshot.canonical_specs) in
-  let scalar = Metamorph.check_moves ~jobs:1 ~engine:`Scalar ~seed:13 lib spec in
-  let p1 = Metamorph.check_moves ~jobs:1 ~engine:`Packed ~seed:13 lib spec in
-  let p4 = Metamorph.check_moves ~jobs:4 ~engine:`Packed ~seed:13 lib spec in
+  let scalar = Metamorph.check_moves ~jobs:1 ~engine:`Scalar ~seed:13 ctx spec in
+  let p1 = Metamorph.check_moves ~jobs:1 ~engine:`Packed ~seed:13 ctx spec in
+  let p4 = Metamorph.check_moves ~jobs:4 ~engine:`Packed ~seed:13 ctx spec in
   check_bool "all variants pass" true
     (List.for_all (fun r -> r.Metamorph.ok) scalar);
   check_bool "engine-invariant" true (scalar = p1);
@@ -150,8 +151,8 @@ let test_check_moves_engine_and_jobs_invariant () =
 
 let test_check_equiv_pair_engine_invariant () =
   let spec = snd (List.hd Snapshot.canonical_specs) in
-  let s = Metamorph.check_equiv_pair ~engine:`Scalar ~seed:5 lib spec in
-  let p = Metamorph.check_equiv_pair ~engine:`Packed ~seed:5 lib spec in
+  let s = Metamorph.check_equiv_pair ~engine:`Scalar ~seed:5 ctx spec in
+  let p = Metamorph.check_equiv_pair ~engine:`Packed ~seed:5 ctx spec in
   check_bool "pair equivalent" true p.Metamorph.ok;
   check_bool "engine-invariant" true (s = p)
 
@@ -223,11 +224,11 @@ let test_measure_engines_bit_identical () =
   let vdds = [| 0.7; 0.9; 1.1 |] and freqs_mhz = [| 300.; 600.; 900. |] in
   let a =
     Fig9.measure ~vdds ~freqs_mhz ~engine:`Scalar ~n_lanes:4 ~macs:2 ~jobs:1
-      lib m ~crit_ps:950.0
+      ctx m ~crit_ps:950.0
   in
   let b =
     Fig9.measure ~vdds ~freqs_mhz ~engine:`Packed ~n_lanes:4 ~macs:2 ~jobs:1
-      lib m ~crit_ps:950.0
+      ctx m ~crit_ps:950.0
   in
   check_bool "pass grids identical" true (a.Fig9.grid = b.Fig9.grid);
   Array.iteri

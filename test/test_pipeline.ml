@@ -4,6 +4,7 @@
 
 let lib = Library.n40 ()
 let scl = Scl.create lib
+let ctx = Ctx.of_parts lib scl
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let check_string = Alcotest.(check string)
@@ -54,7 +55,7 @@ let swapped_compile (spec : Spec.t) =
 let test_stage_order_invariance () =
   List.iter
     (fun (name, spec) ->
-      let a = Compiler.compile lib scl spec in
+      let a = Compiler.compile ctx spec in
       match swapped_compile spec with
       | Error d -> Alcotest.failf "%s: swapped pipeline failed: %s" name (Diag.to_string d)
       | Ok (m, closed) ->
@@ -67,7 +68,7 @@ let test_stage_order_invariance () =
 (* ---------------- diagnostics instead of exceptions ---------------- *)
 
 let test_injected_failure_is_diag () =
-  match Pipeline.run ~inject:Pipeline.stage_verify lib scl small_spec with
+  match Pipeline.run ~inject:Pipeline.stage_verify ctx small_spec with
   | Ok _ -> Alcotest.fail "injected failure produced a clean run"
   | Error d ->
       check_string "failing stage" Pipeline.stage_verify (Diag.stage d);
@@ -76,7 +77,7 @@ let test_injected_failure_is_diag () =
       check_bool "is an error" true (Diag.is_error d)
 
 let test_bad_spec_is_diag () =
-  match Pipeline.run lib scl { small_spec with Spec.mcr = 3 } with
+  match Pipeline.run ctx { small_spec with Spec.mcr = 3 } with
   | Ok _ -> Alcotest.fail "mcr=3 compiled"
   | Error d ->
       check_string "rejected by search" Pipeline.stage_search (Diag.stage d);
@@ -101,7 +102,7 @@ let test_guard_converts_bench_error () =
 let test_failing_verify_raises_wrapper_exn () =
   (* the Compiler wrapper still surfaces verify failures as the legacy
      Verification_failed, but the pipeline itself returns a Diag *)
-  match Pipeline.run ~inject:Pipeline.stage_backend lib scl small_spec with
+  match Pipeline.run ~inject:Pipeline.stage_backend ctx small_spec with
   | Ok _ -> Alcotest.fail "injected backend failure produced a clean run"
   | Error d -> check_string "stage" Pipeline.stage_backend (Diag.stage d)
 
@@ -109,7 +110,7 @@ let test_failing_verify_raises_wrapper_exn () =
 
 let test_trace_has_all_stages () =
   let trace = Trace.create () in
-  match Pipeline.run ~trace lib scl small_spec with
+  match Pipeline.run ~trace ctx small_spec with
   | Error d -> Alcotest.failf "compile failed: %s" (Diag.to_string d)
   | Ok r ->
       let rows = Trace.rows trace in
@@ -136,7 +137,7 @@ let trace_fingerprints ~jobs =
   Pool.parallel_map ~jobs
     (fun (_, spec) ->
       let trace = Trace.create () in
-      ignore (Pipeline.run ~trace lib scl spec);
+      ignore (Pipeline.run ~trace ctx spec);
       Trace.fingerprint trace)
     Snapshot.canonical_specs
 

@@ -7,6 +7,7 @@
    packed agreement of the differential check engines. *)
 
 let lib = Library.n40 ()
+let ctx = Ctx.of_parts lib (Scl.create lib)
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let gen_spec seed = List.hd (Specgen.generate ~seed ~count:1)
@@ -306,10 +307,10 @@ let test_diffcheck_engines_agree () =
     (fun seed ->
       let spec = gen_spec seed in
       let scalar =
-        Diffcheck.check_spec ~engine:`Scalar ~seed:(seed + 100) lib spec
+        Diffcheck.check_spec ~engine:`Scalar ~seed:(seed + 100) ctx spec
       in
       let packed =
-        Diffcheck.check_spec ~engine:`Packed ~seed:(seed + 100) lib spec
+        Diffcheck.check_spec ~engine:`Packed ~seed:(seed + 100) ctx spec
       in
       check_bool
         (Printf.sprintf "seed %d: both engines pass" seed)
@@ -329,7 +330,7 @@ let test_diffcheck_engines_catch_bug () =
         (fun seed ->
           let spec = gen_spec seed in
           let fails engine =
-            (Diffcheck.check_spec ~engine ~bug ~seed:(seed + 7) lib spec)
+            (Diffcheck.check_spec ~engine ~bug ~seed:(seed + 7) ctx spec)
               .Diffcheck.failure
             <> None
           in

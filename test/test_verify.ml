@@ -4,6 +4,7 @@
    metamorphic properties and the PPA snapshot harness. *)
 
 let lib = Library.n40 ()
+let ctx = Ctx.of_parts lib (Scl.create lib)
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
@@ -123,7 +124,7 @@ let test_shrink_strictly_simpler () =
     (Specgen.generate ~seed:3 ~count:24)
 
 let test_shrink_reaches_minimal_reproducer () =
-  let fails = Diffcheck.fails ~bug:Diffcheck.Retime_early_sample ~seed:3 lib in
+  let fails = Diffcheck.fails ~bug:Diffcheck.Retime_early_sample ~seed:3 ctx in
   let start =
     List.find fails (Specgen.generate ~seed:9 ~count:8)
   in
@@ -153,7 +154,7 @@ let spec ~rows ~cols ~prec =
 let test_diffcheck_clean () =
   List.iter
     (fun s ->
-      let o = Diffcheck.check_spec ~seed:5 lib s in
+      let o = Diffcheck.check_spec ~seed:5 ctx s in
       check_bool "no failure" true (o.Diffcheck.failure = None);
       check_bool "checks performed" true (o.Diffcheck.checks > 0))
     [
@@ -165,22 +166,20 @@ let test_diffcheck_clean () =
 
 let test_diffcheck_catches_retime_bug () =
   check_bool "early sample caught" true
-    (Diffcheck.fails ~bug:Diffcheck.Retime_early_sample ~seed:5 lib
+    (Diffcheck.fails ~bug:Diffcheck.Retime_early_sample ~seed:5 ctx
        (spec ~rows:8 ~cols:8 ~prec:Precision.int4))
 
 let test_diffcheck_sign_bug_is_precision_dependent () =
   (* the dropped sign cycle only exists for multi-bit inputs: INT1 is
      unsigned, so the injected bug is a no-op there *)
   check_bool "caught at INT4" true
-    (Diffcheck.fails ~bug:Diffcheck.Skip_sign_cycle ~seed:5 lib
+    (Diffcheck.fails ~bug:Diffcheck.Skip_sign_cycle ~seed:5 ctx
        (spec ~rows:8 ~cols:8 ~prec:Precision.int4));
   check_bool "invisible at INT1" false
-    (Diffcheck.fails ~bug:Diffcheck.Skip_sign_cycle ~seed:5 lib
+    (Diffcheck.fails ~bug:Diffcheck.Skip_sign_cycle ~seed:5 ctx
        (spec ~rows:8 ~cols:8 ~prec:Precision.int1))
 
 (* ---------------- Campaign: determinism across jobs ---------------- *)
-
-let scl = Scl.create lib
 
 let failure_key (f : Campaign.failure_report) =
   (f.Campaign.index, f.Campaign.original, f.Campaign.shrunk,
@@ -191,11 +190,11 @@ let test_campaign_jobs_invariant () =
      count — per-spec seeds depend only on campaign seed and index *)
   let r1 =
     Campaign.run ~jobs:1 ~bug:Diffcheck.Retime_early_sample ~seed:11
-      ~count:6 lib scl
+      ~count:6 ctx
   in
   let r4 =
     Campaign.run ~jobs:4 ~bug:Diffcheck.Retime_early_sample ~seed:11
-      ~count:6 lib scl
+      ~count:6 ctx
   in
   check_bool "failures found" true (r1.Campaign.failures <> []);
   check_bool "failure lists identical" true
@@ -207,7 +206,7 @@ let test_campaign_jobs_invariant () =
     (Campaign.describe r1) (Campaign.describe r4)
 
 let test_campaign_clean_pass () =
-  let r = Campaign.run ~jobs:2 ~seed:5 ~count:10 lib scl in
+  let r = Campaign.run ~jobs:2 ~seed:5 ~count:10 ctx in
   check_bool "clean" true (Campaign.clean r);
   check_bool "properties ran" true (r.Campaign.properties <> []);
   check_bool "verdict rendered" true
@@ -216,14 +215,14 @@ let test_campaign_clean_pass () =
 let test_campaign_injected_bug_reported () =
   let r =
     Campaign.run ~jobs:2 ~bug:Diffcheck.Skip_sign_cycle ~seed:11 ~count:8
-      lib scl
+      ctx
   in
   check_bool "not clean" true (not (Campaign.clean r));
   List.iter
     (fun (f : Campaign.failure_report) ->
       let fails =
         Diffcheck.fails ~bug:Diffcheck.Skip_sign_cycle
-          ~seed:(Campaign.spec_seed ~seed:11 f.Campaign.index) lib
+          ~seed:(Campaign.spec_seed ~seed:11 f.Campaign.index) ctx
       in
       check_bool "shrunk reproducer still fails" true (fails f.Campaign.shrunk);
       check_bool "shrunk reproducer is a fixpoint" true
@@ -238,7 +237,7 @@ let test_metamorphic_moves_preserve_function () =
     (fun (r : Metamorph.result) ->
       check_bool (r.Metamorph.name ^ ": " ^ r.Metamorph.detail) true
         r.Metamorph.ok)
-    (Metamorph.check_moves ~jobs:2 ~seed:13 lib
+    (Metamorph.check_moves ~jobs:2 ~seed:13 ctx
        (spec ~rows:8 ~cols:8 ~prec:Precision.int4))
 
 let test_lut_monotonicity () =
@@ -246,18 +245,18 @@ let test_lut_monotonicity () =
     (fun (r : Metamorph.result) ->
       check_bool (r.Metamorph.name ^ ": " ^ r.Metamorph.detail) true
         r.Metamorph.ok)
-    (Metamorph.lut_monotonicity lib scl)
+    (Metamorph.lut_monotonicity ctx)
 
 (* ---------------- Snapshot ---------------- *)
 
 let test_snapshot_stable_across_jobs () =
-  let a = Snapshot.render (Snapshot.fingerprint ~jobs:1 lib Snapshot.canonical_specs) in
-  let b = Snapshot.render (Snapshot.fingerprint ~jobs:4 lib Snapshot.canonical_specs) in
+  let a = Snapshot.render (Snapshot.fingerprint ~jobs:1 ctx Snapshot.canonical_specs) in
+  let b = Snapshot.render (Snapshot.fingerprint ~jobs:4 ctx Snapshot.canonical_specs) in
   Alcotest.(check string) "rendering job-count invariant" a b;
   check_bool "self-diff empty" true (Snapshot.diff ~expected:a ~actual:b = None)
 
 let test_snapshot_perturbation_diff_readable () =
-  let entries = Snapshot.fingerprint ~jobs:1 lib Snapshot.canonical_specs in
+  let entries = Snapshot.fingerprint ~jobs:1 ctx Snapshot.canonical_specs in
   let expected = Snapshot.render entries in
   let perturbed =
     List.mapi
@@ -280,14 +279,14 @@ let test_snapshot_roundtrip_and_missing () =
   in
   let path = Filename.concat dir Snapshot.file in
   if Sys.file_exists path then Sys.remove path;
-  (match Snapshot.check ~jobs:2 ~dir lib with
+  (match Snapshot.check ~jobs:2 ~dir ctx with
   | Error msg ->
       check_bool "missing snapshot names the update command" true
         (contains msg "--update-snapshots")
   | Ok _ -> Alcotest.fail "missing snapshot must be an error");
-  let written = Snapshot.update ~jobs:2 ~dir lib in
+  let written = Snapshot.update ~jobs:2 ~dir ctx in
   Alcotest.(check string) "path" path written;
-  (match Snapshot.check ~jobs:2 ~dir lib with
+  (match Snapshot.check ~jobs:2 ~dir ctx with
   | Ok n -> check_int "fingerprints" (List.length Snapshot.canonical_specs) n
   | Error msg -> Alcotest.fail msg);
   Sys.remove path
