@@ -44,10 +44,15 @@ let preference_conv =
 
 (* ---------------- shared execution context ---------------- *)
 
-type ctx_args = { cli_jobs : int option; cli_scl_cache : string option }
+type ctx_args = {
+  cli_jobs : int option;
+  cli_scl_cache : string option;
+  cli_engine : string option;
+}
 
-(** The one --jobs / --scl-cache pair every compiling subcommand reuses;
-    the doc strings live here once instead of per subcommand. *)
+(** The one --jobs / --scl-cache / --engine triple every compiling
+    subcommand reuses; the doc strings live here once instead of per
+    subcommand. *)
 let ctx_term =
   let jobs =
     Arg.(
@@ -67,28 +72,54 @@ let ctx_term =
             "CSV file for the characterized subcircuit-library LUT; \
              loaded if present, saved after the run.")
   in
-  let make cli_jobs cli_scl_cache = { cli_jobs; cli_scl_cache } in
-  Term.(const make $ jobs $ scl_cache)
+  let engine =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Batch simulation engine: scalar, packed (63 lanes, the \
+             default), multiword:N (N = 126 or 252 lanes), or auto \
+             (bench-probe the host and keep packed unless a wider \
+             engine wins). All engines are bit-identical; this is a \
+             throughput knob.")
+  in
+  let make cli_jobs cli_scl_cache cli_engine =
+    { cli_jobs; cli_scl_cache; cli_engine }
+  in
+  Term.(const make $ jobs $ scl_cache $ engine)
 
 (** [with_ctx a f] — validate the parsed context arguments, build the
     context over the shared world, merge the persisted SCL LUT, run
     [f ctx], then persist the warmed LUT (even when [f] fails: the
     characterization work is valid regardless of the run's verdict). *)
 let with_ctx (a : ctx_args) (f : Ctx.t -> int) : int =
-  let jobs =
-    match a.cli_jobs with
-    | None -> Ok None
-    | Some j -> Result.map Option.some (Ctx.validate_jobs j)
+  let checked =
+    let ( let* ) = Result.bind in
+    let* jobs =
+      match a.cli_jobs with
+      | None -> Ok None
+      | Some j -> Result.map Option.some (Ctx.validate_jobs j)
+    in
+    let* engine =
+      match a.cli_engine with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (Ctx.validate_engine s)
+    in
+    Ok (jobs, engine)
   in
-  match jobs with
+  match checked with
   | Error d ->
       (* one-line diagnostic, non-zero exit, never a backtrace *)
       print_endline (Diag.to_string d);
       1
-  | Ok jobs ->
+  | Ok (jobs, engine) ->
       let ctx = Ctx.default () in
       let ctx =
         match jobs with Some j -> Ctx.with_jobs j ctx | None -> ctx
+      in
+      let ctx =
+        match engine with Some e -> Ctx.with_engines e ctx | None -> ctx
       in
       let ctx =
         match a.cli_scl_cache with

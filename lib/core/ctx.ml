@@ -33,9 +33,23 @@
       ([?trace] override or {!with_trace}) — the batch driver already
       records per-spec traces and merges them in manifest order. *)
 
-type engine = [ `Scalar | `Packed ]
+type engine = Engine.t
+(** [`Scalar], [`Packed] (63 lanes) or [`Multiword w] (63·k lanes, see
+    {!Sim_multiword}); the conformance suite proves all of them
+    bit-identical, so the choice is purely a throughput knob *)
 
-let engine_name = function `Scalar -> "scalar" | `Packed -> "packed"
+let engine_name : engine -> string = Engine.name
+
+(** [validate_engine s] — parse a CLI [--engine] argument ([scalar],
+    [packed], [multiword:N] or [auto]); [auto] runs the bench-probe
+    {!Engine.autodetect} (the only path that ever calls it). A bad value
+    is a one-line diagnostic, not an exception. *)
+let validate_engine (s : string) : (engine, Diag.t) Stdlib.result =
+  match Engine.of_string s with
+  | Ok `Auto -> Ok (Engine.autodetect () :> engine)
+  | Ok (#Engine.t as e) -> Ok e
+  | Error msg ->
+      Error (Diag.error ~stage:"ctx" ~payload:[ ("engine", s) ] msg)
 
 type t = {
   lib : Library.t;  (** the characterized cell library (immutable) *)

@@ -229,10 +229,7 @@ let verify_stage ?(engine = `Packed) ~enabled () :
               ~note:
                 (Printf.sprintf
                    "%d random MACs vs golden (%d weight copies, %s engine)"
-                   (copies * verify_batches) copies
-                   (match engine with
-                   | `Packed -> "packed"
-                   | `Scalar -> "scalar"))
+                   (copies * verify_batches) copies (Engine.name engine))
               () ))
 
 (** Stage 3 — back-end: place, route, sign off, and re-close timing with

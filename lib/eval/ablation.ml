@@ -166,9 +166,10 @@ let mcr_sweep ?(dim = 32) ?engine ?jobs (ctx : Ctx.t) =
         | `Scalar ->
             Design_point.measure_power lib m ~freq_hz:5e8 ~vdd:0.9
               ~input_density:0.5 ~weight_density:0.5 ~macs:4
-        | `Packed ->
-            Design_point.measure_power_packed lib m ~freq_hz:5e8 ~vdd:0.9
-              ~input_density:0.5 ~weight_density:0.5 ~macs:4
+        | #Engine.batch as e ->
+            Design_point.measure_power_sliced (Engine.slice e) lib m
+              ~freq_hz:5e8 ~vdd:0.9 ~input_density:0.5 ~weight_density:0.5
+              ~macs:4
       in
       let memory_kb = float_of_int (dim * dim * mcr) /. 1024.0 in
       {

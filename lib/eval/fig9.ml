@@ -123,10 +123,15 @@ type measured = {
 
     - [`Packed] (default) — one bit-sliced {!Sim_packed} run per
       column, replicas as lanes;
+    - [`Multiword w] — the same through a [w]-lane {!Sim_multiword}
+      (pass [~n_lanes] up to [w] to widen the ensemble);
     - [`Scalar] — the reference: [n_lanes] scalar runs per column with
-      element-wise-summed counters, bit-identical to the packed
+      element-wise-summed counters, bit-identical to the sliced
       counters by the lane-equivalence property, hence bit-identical
       energies.
+
+    The stimulus is indexed by [n_lanes], never by the engine, so any
+    two engines at the same [n_lanes] replay identical streams.
 
     Columns fan out over the pool; the fanout-load map is built once
     and shared by every column and engine. *)
@@ -158,18 +163,20 @@ let measure ?(vdds = default_vdds) ?(freqs_mhz = default_freqs_mhz)
         in
         let toggles, en_cycles, cycles, weight_flips =
           match engine with
-          | `Packed ->
-              let sim = Sim_packed.create ~n_lanes d in
+          | #Engine.batch as e ->
+              let module E = (val Engine.slice e) in
+              let module B = Testbench.Sliced (E) in
+              let sim = E.create ~n_lanes d in
               if m.Macro_rtl.cfg.Macro_rtl.mcr > 1 then
-                Sim_packed.set_bus sim "copy_sel" 0;
-              Testbench.load_weights_lanes m sim ~copy:0 weights;
-              Sim_packed.reset_stats sim;
-              Testbench.run_stream_packed_with m sim ~macs
+                E.set_bus sim "copy_sel" 0;
+              B.load_weights_lanes m sim ~copy:0 weights;
+              E.reset_stats sim;
+              B.run_stream_with m sim ~macs
                 ~next_inputs:(fun k -> inputs.(k));
-              ( sim.Sim_packed.toggles,
-                sim.Sim_packed.en_cycles,
-                sim.Sim_packed.cycles * n_lanes,
-                sim.Sim_packed.weight_flips )
+              ( E.toggles sim,
+                E.en_cycles sim,
+                E.cycles sim * n_lanes,
+                E.weight_flips sim )
           | `Scalar ->
               (* the ensemble as [n_lanes] scalar runs, counters summed
                  element-wise — the reference the packed counters are

@@ -85,35 +85,35 @@ let check_scalar ~seed ~vectors ~settle ~hold (a : Ir.design)
   in
   rounds 0
 
-(* Packed engine: vectors become lanes. Each chunk of up to
-   [Sim_packed.lanes] vectors runs on a fresh simulator pair with every
+(* Bit-sliced engines: vectors become lanes. Each chunk of up to
+   [E.max_lanes] vectors runs on a fresh simulator pair with every
    lane starting from reset, so rounds are independent rather than
    sharing the scalar engine's state history — a strictly cleaner
    stimulus (no cross-round state leakage) that still drains and holds
    exactly like the scalar path. Vectors are drawn in round order from
-   the same RNG stream the scalar engine consumes, and mismatches are
-   reported in scalar order: lowest vector first, then lowest cycle,
-   then output-bus declaration order. *)
-let check_packed ~seed ~vectors ~settle ~hold (a : Ir.design)
-    (b : Ir.design) : verdict =
+   the same RNG stream the scalar engine consumes (so the verdict is
+   independent of the chunk width), and mismatches are reported in
+   scalar order: lowest vector first, then lowest cycle, then
+   output-bus declaration order. *)
+let check_sliced (module E : Slice.S) ~seed ~vectors ~settle ~hold
+    (a : Ir.design) (b : Ir.design) : verdict =
   let rng = Rng.create seed in
   let outputs = bus_names a in
   let rec chunks start =
     if start >= vectors then Equivalent vectors
     else begin
-      let n = min Sim_packed.lanes (vectors - start) in
+      let n = min E.max_lanes (vectors - start) in
       let rounds = Array.init n (fun _ -> draw_round rng a) in
-      let sa = Sim_packed.create ~n_lanes:n a
-      and sb = Sim_packed.create ~n_lanes:n b in
+      let sa = E.create ~n_lanes:n a and sb = E.create ~n_lanes:n b in
       List.iter
         (fun (name, _) ->
           let vs = Array.map (fun values -> List.assoc name values) rounds in
-          Sim_packed.set_bus_lanes sa name vs;
-          Sim_packed.set_bus_lanes sb name vs)
+          E.set_bus_lanes sa name vs;
+          E.set_bus_lanes sb name vs)
         a.Ir.src.Ir.inputs;
       for _ = 1 to settle do
-        Sim_packed.step sa;
-        Sim_packed.step sb
+        E.step sa;
+        E.step sb
       done;
       (* record each lane's first mismatch; the scan order (cycle
          ascending, buses in declaration order) matches the scalar
@@ -121,20 +121,20 @@ let check_packed ~seed ~vectors ~settle ~hold (a : Ir.design)
          engine would have reported for that vector *)
       let first = Array.make n None in
       for cycle = settle to settle + hold do
-        Sim_packed.eval sa;
-        Sim_packed.eval sb;
+        E.eval sa;
+        E.eval sb;
         List.iter
           (fun bus ->
             for l = 0 to n - 1 do
               if first.(l) = None then begin
-                let va = Sim_packed.read_bus_lane sa bus l
-                and vb = Sim_packed.read_bus_lane sb bus l in
+                let va = E.read_bus_lane sa bus l
+                and vb = E.read_bus_lane sb bus l in
                 if va <> vb then first.(l) <- Some (cycle, bus, va, vb)
               end
             done)
           outputs;
-        Sim_packed.step sa;
-        Sim_packed.step sb
+        E.step sa;
+        E.step sb
       done;
       let rec scan l =
         if l >= n then chunks (start + n)
@@ -162,16 +162,18 @@ let check_packed ~seed ~vectors ~settle ~hold (a : Ir.design)
 
     [engine] selects the simulation backend. [`Packed] (the default)
     packs vectors as bit-slice lanes, amortizing gate evaluation ~63x;
-    [`Scalar] is the reference implementation. Both consume the same
-    RNG stream and report mismatches in the same vector/cycle/bus
-    order; packed rounds each start from reset instead of inheriting
+    [`Multiword w] packs them [w] lanes wide ({!Sim_multiword});
+    [`Scalar] is the reference implementation. All engines consume the
+    same RNG stream and report mismatches in the same vector/cycle/bus
+    order; sliced rounds each start from reset instead of inheriting
     the previous round's pipeline state. *)
-let check ?(engine = `Packed) ?(seed = 0xE9) ?(vectors = 24) ?(settle = 8)
-    ?(hold = 4) (a : Ir.design) (b : Ir.design) : verdict =
+let check ?(engine : Engine.t = `Packed) ?(seed = 0xE9) ?(vectors = 24)
+    ?(settle = 8) ?(hold = 4) (a : Ir.design) (b : Ir.design) : verdict =
   if not (interfaces_match a b) then
     invalid_arg "Equiv.check: interface mismatch";
   if settle < 1 || hold < 0 then
     invalid_arg "Equiv.check: settle must be >= 1 and hold >= 0";
   match engine with
   | `Scalar -> check_scalar ~seed ~vectors ~settle ~hold a b
-  | `Packed -> check_packed ~seed ~vectors ~settle ~hold a b
+  | #Engine.batch as e ->
+      check_sliced (Engine.slice e) ~seed ~vectors ~settle ~hold a b

@@ -49,7 +49,9 @@ let create ?n_lanes (d : Ir.design) =
   let n_lanes = match n_lanes with None -> lanes | Some l -> l in
   if n_lanes < 1 || n_lanes > lanes then
     invalid_arg
-      (Printf.sprintf "Sim_packed.create: %d lanes (1..%d)" n_lanes lanes);
+      (Printf.sprintf
+         "Sim_packed.create: requested %d lanes, valid range is 1..%d"
+         n_lanes lanes);
   let mask = if n_lanes = lanes then -1 else (1 lsl n_lanes) - 1 in
   let n = Ir.n_insts d in
   let t =

@@ -241,254 +241,289 @@ let verify_scalar (m : Macro_rtl.t) ~seed ~batches =
     done
   done
 
-(* ---------------- bit-sliced (packed) bench path ---------------- *)
+(* ---------------- bit-sliced bench path ---------------- *)
 
-(** [set_controls_packed sim ~load ~sa_en ~sa_clr ~sa_neg] — the packed
-    mirror of {!set_controls}: one MAC schedule broadcast to every lane. *)
-let set_controls_packed sim ~load ~sa_en ~sa_clr ~sa_neg =
-  Sim_packed.set_bus sim "load" (if load then 1 else 0);
-  Sim_packed.set_bus sim "sa_en" (if sa_en then 1 else 0);
-  Sim_packed.set_bus sim "sa_clr" (if sa_clr then 1 else 0);
-  Sim_packed.set_bus sim "sa_neg" (if sa_neg then 1 else 0)
+(** The lane-parallel bench, written once against {!Slice.S}: the
+    63-lane {!Sim_packed} engine and every {!Sim_multiword} width share
+    this single implementation, so their sign-off verdicts, Mismatch
+    payloads and activity counters agree by construction — the property
+    the cross-engine conformance suite pins. [Packed_bench] below
+    instantiates it for {!Slice.Packed}; the historical [*_packed]
+    top-level names are aliases into that instance. *)
+module Sliced (E : Slice.S) = struct
+  (* the scalar single-MAC checker, before this module shadows the name
+     with its sliced counterpart: the reproducer path re-runs through it *)
+  let scalar_check_mac = check_mac
 
-(** [present_inputs_lanes m sim inputs] drives every row bus with a
-    distinct word per lane: [inputs.(lane).(row)]. *)
-let present_inputs_lanes (m : Macro_rtl.t) sim
-    (inputs : int array array) =
-  let n = Array.length inputs in
-  assert (n >= 1 && n <= Sim_packed.lanes_of sim);
-  Array.iter (fun per_row -> assert (Array.length per_row = m.cfg.rows))
-    inputs;
-  let per_lane = Array.make n 0 in
-  for r = 0 to m.cfg.rows - 1 do
-    for l = 0 to n - 1 do
-      per_lane.(l) <- inputs.(l).(r)
-    done;
-    Sim_packed.set_bus_lanes sim (Printf.sprintf "x%d" r) per_lane
-  done
+  (** [set_controls sim ~load ~sa_en ~sa_clr ~sa_neg] — the sliced
+      mirror of {!set_controls}: one MAC schedule broadcast to every
+      lane. *)
+  let set_controls sim ~load ~sa_en ~sa_clr ~sa_neg =
+    E.set_bus sim "load" (if load then 1 else 0);
+    E.set_bus sim "sa_en" (if sa_en then 1 else 0);
+    E.set_bus sim "sa_clr" (if sa_clr then 1 else 0);
+    E.set_bus sim "sa_neg" (if sa_neg then 1 else 0)
 
-(** [load_weights_lanes m sim ~copy weights] writes
-    [weights.(lane).(word).(row)] (signed [wb]-bit integers) into weight
-    copy [copy], a different weight matrix per lane. Lanes beyond
-    [Array.length weights] store lane 0's weights (a harmless fill:
-    their outputs are never compared). *)
-let load_weights_lanes (m : Macro_rtl.t) sim ~copy
-    (weights : int array array array) =
-  let n = Array.length weights in
-  assert (n >= 1 && n <= Sim_packed.lanes_of sim);
-  Array.iter
-    (fun per_word ->
-      assert (Array.length per_word = m.words);
-      Array.iter
-        (fun per_row -> assert (Array.length per_row = m.cfg.rows))
-        per_word)
-    weights;
-  let n_lanes = Sim_packed.lanes_of sim in
-  for g = 0 to m.words - 1 do
+  (** [present_inputs_lanes m sim inputs] drives every row bus with a
+      distinct word per lane: [inputs.(lane).(row)]. *)
+  let present_inputs_lanes (m : Macro_rtl.t) sim
+      (inputs : int array array) =
+    let n = Array.length inputs in
+    assert (n >= 1 && n <= E.lanes_of sim);
+    Array.iter (fun per_row -> assert (Array.length per_row = m.cfg.rows))
+      inputs;
+    let per_lane = Array.make n 0 in
     for r = 0 to m.cfg.rows - 1 do
-      for j = 0 to m.wb - 1 do
-        let w = ref 0 in
-        for l = 0 to n_lanes - 1 do
-          let src = weights.(if l < n then l else 0) in
-          w := !w lor (((src.(g).(r) asr j) land 1) lsl l)
-        done;
-        Sim_packed.set_weight sim ~row:r ~col:((g * m.wb) + j) ~copy !w
+      for l = 0 to n - 1 do
+        per_lane.(l) <- inputs.(l).(r)
+      done;
+      E.set_bus_lanes sim (Printf.sprintf "x%d" r) per_lane
+    done
+
+  (** [load_weights_lanes m sim ~copy weights] writes
+      [weights.(lane).(word).(row)] (signed [wb]-bit integers) into
+      weight copy [copy], a different weight matrix per lane. Lanes
+      beyond [Array.length weights] store lane 0's weights (a harmless
+      fill: their outputs are never compared). *)
+  let load_weights_lanes (m : Macro_rtl.t) sim ~copy
+      (weights : int array array array) =
+    let n = Array.length weights in
+    assert (n >= 1 && n <= E.lanes_of sim);
+    Array.iter
+      (fun per_word ->
+        assert (Array.length per_word = m.words);
+        Array.iter
+          (fun per_row -> assert (Array.length per_row = m.cfg.rows))
+          per_word)
+      weights;
+    let n_lanes = E.lanes_of sim in
+    let bits = Array.make n_lanes false in
+    for g = 0 to m.words - 1 do
+      for r = 0 to m.cfg.rows - 1 do
+        for j = 0 to m.wb - 1 do
+          for l = 0 to n_lanes - 1 do
+            let src = weights.(if l < n then l else 0) in
+            bits.(l) <- (src.(g).(r) asr j) land 1 = 1
+          done;
+          E.set_weight_lanes sim ~row:r ~col:((g * m.wb) + j) ~copy bits
+        done
       done
     done
-  done
 
-(** [run_mac_packed m sim ~inputs] — the bit-sliced mirror of {!run_mac}:
-    one MAC schedule broadcast to every lane, with a distinct input word
-    vector per lane ([inputs.(lane).(row)]). Returns the per-word signed
-    results of the driven lanes only: [results.(lane).(word)]. The
-    [active_bits] runtime-precision contract is identical to the scalar
-    bench's. *)
-let run_mac_packed ?active_bits (m : Macro_rtl.t) sim
-    ~(inputs : int array array) =
-  let ab =
-    match active_bits with
-    | None -> m.db
-    | Some b ->
-        assert (b >= 1 && b <= m.db);
-        assert (not (is_fp m));
-        b
-  in
-  let inputs =
-    if ab = m.db || m.neg_on_last then inputs
-    else Array.map (Array.map (fun v -> v lsl (m.db - ab))) inputs
-  in
-  present_inputs_lanes m sim inputs;
-  set_controls_packed sim ~load:false ~sa_en:false ~sa_clr:false
-    ~sa_neg:false;
-  if is_fp m then Sim_packed.set_bus sim "align_en" 1;
-  for _ = 1 to m.align_lat do
-    Sim_packed.step sim
-  done;
-  if is_fp m then Sim_packed.set_bus sim "align_en" 0;
-  set_controls_packed sim ~load:true ~sa_en:false ~sa_clr:false
-    ~sa_neg:false;
-  Sim_packed.step sim;
-  let last = m.tree_lat + ab - 1 in
-  for k = 0 to last do
-    let first = k = m.tree_lat in
-    let sign_cycle = if m.neg_on_last then k = last else first in
-    set_controls_packed sim ~load:false
-      ~sa_en:(k >= m.tree_lat)
-      ~sa_clr:first
-      ~sa_neg:(sign_cycle && ab > 1);
-    Sim_packed.step sim
-  done;
-  set_controls_packed sim ~load:false ~sa_en:false ~sa_clr:false
-    ~sa_neg:false;
-  for _ = 1 to m.post_lat do
-    Sim_packed.step sim
-  done;
-  Sim_packed.eval sim;
-  let scale = if m.neg_on_last then m.db - ab else 0 in
-  Array.init (Array.length inputs) (fun l ->
-      Array.init m.words (fun g ->
-          Sim_packed.read_bus_signed_lane sim (Printf.sprintf "result%d" g) l
-          asr scale))
+  (** [run_mac m sim ~inputs] — the bit-sliced mirror of the top-level
+      {!run_mac}: one MAC schedule broadcast to every lane, with a
+      distinct input word vector per lane ([inputs.(lane).(row)]).
+      Returns the per-word signed results of the driven lanes only:
+      [results.(lane).(word)]. The [active_bits] runtime-precision
+      contract is identical to the scalar bench's. *)
+  let run_mac ?active_bits (m : Macro_rtl.t) sim
+      ~(inputs : int array array) =
+    let ab =
+      match active_bits with
+      | None -> m.db
+      | Some b ->
+          assert (b >= 1 && b <= m.db);
+          assert (not (is_fp m));
+          b
+    in
+    let inputs =
+      if ab = m.db || m.neg_on_last then inputs
+      else Array.map (Array.map (fun v -> v lsl (m.db - ab))) inputs
+    in
+    present_inputs_lanes m sim inputs;
+    set_controls sim ~load:false ~sa_en:false ~sa_clr:false ~sa_neg:false;
+    if is_fp m then E.set_bus sim "align_en" 1;
+    for _ = 1 to m.align_lat do
+      E.step sim
+    done;
+    if is_fp m then E.set_bus sim "align_en" 0;
+    set_controls sim ~load:true ~sa_en:false ~sa_clr:false ~sa_neg:false;
+    E.step sim;
+    let last = m.tree_lat + ab - 1 in
+    for k = 0 to last do
+      let first = k = m.tree_lat in
+      let sign_cycle = if m.neg_on_last then k = last else first in
+      set_controls sim ~load:false
+        ~sa_en:(k >= m.tree_lat)
+        ~sa_clr:first
+        ~sa_neg:(sign_cycle && ab > 1);
+      E.step sim
+    done;
+    set_controls sim ~load:false ~sa_en:false ~sa_clr:false ~sa_neg:false;
+    for _ = 1 to m.post_lat do
+      E.step sim
+    done;
+    E.eval sim;
+    let scale = if m.neg_on_last then m.db - ab else 0 in
+    Array.init (Array.length inputs) (fun l ->
+        Array.init m.words (fun g ->
+            E.read_bus_signed_lane sim (Printf.sprintf "result%d" g) l
+            asr scale))
 
-(* Judge one lane of a finished packed MAC with {!check_mac}'s exact
-   semantics: FP group exponent first, then words in order; the raised
-   {!Mismatch} carries the same payload the scalar bench would raise for
-   the same transaction. *)
-let judge_mac_lane (m : Macro_rtl.t) sim ~(weights : int array array)
-    ~(inputs : int array) (results : int array) lane =
-  let xs, exp_expected = datapath_inputs m inputs in
-  (match exp_expected with
-  | Some e ->
-      let got = Sim_packed.read_bus_lane sim "group_exp" lane in
-      if got <> e then
-        raise
-          (Mismatch
-             { word = -1; expected = e; got; detail = "group exponent" })
-  | None -> ());
-  Array.iteri
-    (fun g got ->
-      let expected = Golden.dot ~weights:weights.(g) ~inputs:xs in
-      if got <> expected then
-        raise
-          (Mismatch { word = g; expected; got; detail = "word result" }))
+  (* Judge one lane of a finished sliced MAC with {!check_mac}'s exact
+     semantics: FP group exponent first, then words in order; the raised
+     {!Mismatch} carries the same payload the scalar bench would raise
+     for the same transaction. *)
+  let judge_mac_lane (m : Macro_rtl.t) sim ~(weights : int array array)
+      ~(inputs : int array) (results : int array) lane =
+    let xs, exp_expected = datapath_inputs m inputs in
+    (match exp_expected with
+    | Some e ->
+        let got = E.read_bus_lane sim "group_exp" lane in
+        if got <> e then
+          raise
+            (Mismatch
+               { word = -1; expected = e; got; detail = "group exponent" })
+    | None -> ());
+    Array.iteri
+      (fun g got ->
+        let expected = Golden.dot ~weights:weights.(g) ~inputs:xs in
+        if got <> expected then
+          raise
+            (Mismatch { word = g; expected; got; detail = "word result" }))
+      results
+
+  (** [check_mac m sim ~weights ~inputs] — the sliced counterpart of
+      the top-level {!check_mac}: up to [lanes_of sim] independent MAC
+      transactions settle in one pass, lane [l] checking [weights.(l)]
+      × [inputs.(l)] against {!Golden}. Weights must already be loaded
+      per lane ({!load_weights_lanes}). Lanes are judged in order and
+      the first divergence raises {!Mismatch} with the scalar bench's
+      payload. Returns [results.(lane).(word)]. *)
+  let check_mac (m : Macro_rtl.t) sim
+      ~(weights : int array array array) ~(inputs : int array array) =
+    assert (Array.length weights = Array.length inputs);
+    let results = run_mac m sim ~inputs in
+    Array.iteri
+      (fun l r ->
+        judge_mac_lane m sim ~weights:weights.(l) ~inputs:inputs.(l) r l)
+      results;
     results
 
-(** [check_mac_packed m sim ~weights ~inputs] — the packed counterpart of
-    {!check_mac}: up to [lanes_of sim] independent MAC transactions
-    settle in one pass, lane [l] checking [weights.(l)] × [inputs.(l)]
-    against {!Golden}. Weights must already be loaded per lane
-    ({!load_weights_lanes}). Lanes are judged in order and the first
-    divergence raises {!Mismatch} with the scalar bench's payload.
-    Returns [results.(lane).(word)]. *)
-let check_mac_packed (m : Macro_rtl.t) sim
-    ~(weights : int array array array) ~(inputs : int array array) =
-  assert (Array.length weights = Array.length inputs);
-  let results = run_mac_packed m sim ~inputs in
-  Array.iteri
-    (fun l r ->
-      judge_mac_lane m sim ~weights:weights.(l) ~inputs:inputs.(l) r l)
-    results;
-  results
-
-(** [verify_packed m ~seed ~batches] — the bit-sliced sign-off engine:
-    the same random weight/input draws as {!verify_scalar} (identical
-    RNG order), but each weight copy's batch of MAC jobs packs
-    {!Sim_packed.lanes} wide, so a whole batch settles per netlist pass.
-    A failing lane is re-run through a fresh scalar simulator for a
-    minimal single-transaction reproducer: if the scalar re-run
-    confirms, its {!Mismatch} is raised verbatim; a packed-only
-    divergence (a lane bug in the engine itself) is raised with an
-    explicit [" (packed-only)"] marker instead of being hidden. *)
-let verify_packed (m : Macro_rtl.t) ~seed ~batches =
-  let rng = Rng.create seed in
-  let psim = Sim_packed.create m.design in
-  if m.cfg.mcr > 1 then Sim_packed.set_bus psim "copy_sel" 0;
-  let n_lanes = Sim_packed.lanes_of psim in
-  let reproduce ~copy ~weights ~inputs ~word ~expected ~got ~detail =
-    let sim = Sim.create m.design in
-    if m.cfg.mcr > 1 then Sim.set_bus sim "copy_sel" 0;
-    load_weights m sim ~copy weights;
-    if m.cfg.mcr > 1 then Sim.set_bus sim "copy_sel" copy;
-    ignore (check_mac m sim ~weights ~inputs);
-    (* the scalar re-run did not reproduce: surface the packed payload *)
-    raise
-      (Mismatch { word; expected; got; detail = detail ^ " (packed-only)" })
-  in
-  for copy = 0 to m.cfg.mcr - 1 do
-    let weights = random_weights rng m ~density:1.0 in
-    load_weights_lanes m psim ~copy [| weights |];
-    if m.cfg.mcr > 1 then Sim_packed.set_bus psim "copy_sel" copy;
-    (* all of the copy's inputs up-front: check_mac performs no draws, so
-       the RNG stream stays bit-identical to the scalar engine's *)
-    let all =
-      Array.init batches (fun _ ->
-          Array.init m.cfg.rows (fun _ -> random_input rng m ~density:1.0))
+  (** [verify m ~seed ~batches] — the bit-sliced sign-off engine: the
+      same random weight/input draws as {!verify_scalar} (identical RNG
+      order — all of a copy's inputs are drawn up-front, so the verdict
+      is independent of the engine's lane width), but each weight
+      copy's batch of MAC jobs packs [E.max_lanes] wide, so a whole
+      batch settles per netlist pass. A failing lane is re-run through
+      a fresh scalar simulator for a minimal single-transaction
+      reproducer: if the scalar re-run confirms, its {!Mismatch} is
+      raised verbatim; a sliced-only divergence (a lane bug in the
+      engine itself) is raised with an explicit [" (packed-only)"]
+      marker instead of being hidden. *)
+  let verify (m : Macro_rtl.t) ~seed ~batches =
+    let rng = Rng.create seed in
+    let psim = E.create m.design in
+    if m.cfg.mcr > 1 then E.set_bus psim "copy_sel" 0;
+    let n_lanes = E.lanes_of psim in
+    let reproduce ~copy ~weights ~inputs ~word ~expected ~got ~detail =
+      let sim = Sim.create m.design in
+      if m.cfg.mcr > 1 then Sim.set_bus sim "copy_sel" 0;
+      load_weights m sim ~copy weights;
+      if m.cfg.mcr > 1 then Sim.set_bus sim "copy_sel" copy;
+      ignore (scalar_check_mac m sim ~weights ~inputs);
+      (* the scalar re-run did not reproduce: surface the sliced payload *)
+      raise
+        (Mismatch { word; expected; got; detail = detail ^ " (packed-only)" })
     in
-    let pos = ref 0 in
-    while !pos < batches do
-      let n = min n_lanes (batches - !pos) in
-      let chunk = Array.sub all !pos n in
-      let results = run_mac_packed m psim ~inputs:chunk in
-      for l = 0 to n - 1 do
-        try judge_mac_lane m psim ~weights ~inputs:chunk.(l) results.(l) l
-        with Mismatch { word; expected; got; detail } ->
-          reproduce ~copy ~weights ~inputs:chunk.(l) ~word ~expected ~got
-            ~detail
-      done;
-      pos := !pos + n
+    for copy = 0 to m.cfg.mcr - 1 do
+      let weights = random_weights rng m ~density:1.0 in
+      load_weights_lanes m psim ~copy [| weights |];
+      if m.cfg.mcr > 1 then E.set_bus psim "copy_sel" copy;
+      (* all of the copy's inputs up-front: check_mac performs no draws,
+         so the RNG stream stays bit-identical to the scalar engine's *)
+      let all =
+        Array.init batches (fun _ ->
+            Array.init m.cfg.rows (fun _ -> random_input rng m ~density:1.0))
+      in
+      let pos = ref 0 in
+      while !pos < batches do
+        let n = min n_lanes (batches - !pos) in
+        let chunk = Array.sub all !pos n in
+        let results = run_mac m psim ~inputs:chunk in
+        for l = 0 to n - 1 do
+          try judge_mac_lane m psim ~weights ~inputs:chunk.(l) results.(l) l
+          with Mismatch { word; expected; got; detail } ->
+            reproduce ~copy ~weights ~inputs:chunk.(l) ~word ~expected ~got
+              ~detail
+        done;
+        pos := !pos + n
+      done
     done
-  done
+
+  (** [run_stream_with m sim ~next_inputs ~macs] — the bit-sliced
+      mirror of the top-level {!run_stream_with}: [macs] back-to-back
+      MACs at full pipeline rate in every lane, [next_inputs k]
+      supplying MAC [k]'s per-lane input words. One sliced run gathers
+      [lanes_of sim ×] the toggle sample mass of a scalar run of the
+      same length — the power Monte Carlo fan-out. Weights must already
+      be loaded ({!load_weights_lanes}); statistics should be read from
+      [sim] afterwards. *)
+  let run_stream_with (m : Macro_rtl.t) sim
+      ~(next_inputs : int -> int array array) ~macs =
+    let db = m.db in
+    let total = m.align_lat + (macs * db) + m.tree_lat + m.post_lat + 1 in
+    for cyc = 0 to total - 1 do
+      if cyc mod db = 0 && cyc / db < macs then
+        present_inputs_lanes m sim (next_inputs (cyc / db));
+      let load = cyc >= m.align_lat && (cyc - m.align_lat) mod db = 0
+                 && (cyc - m.align_lat) / db < macs in
+      let k = cyc - m.align_lat - 1 - m.tree_lat in
+      let first_fill = m.align_lat + 1 + m.tree_lat in
+      let sa_en = cyc >= first_fill && k < macs * db in
+      let sa_clr = sa_en && k mod db = 0 in
+      let sa_neg =
+        sa_en && db > 1
+        && k mod db = (if m.neg_on_last then db - 1 else 0)
+      in
+      if is_fp m then
+        E.set_bus sim "align_en"
+          (if cyc mod db < max m.align_lat 1 && cyc / db < macs then 1
+           else 0);
+      set_controls sim ~load ~sa_en ~sa_clr ~sa_neg;
+      E.step sim
+    done
+
+  let run_stream (m : Macro_rtl.t) sim ~rng ~macs ~input_density =
+    let n_lanes = E.lanes_of sim in
+    run_stream_with m sim ~macs ~next_inputs:(fun _ ->
+        Array.init n_lanes (fun _ ->
+            Array.init m.cfg.rows (fun _ ->
+                random_input ~realistic:true rng m ~density:input_density)))
+end
+
+(** The {!Sliced} bench over {!Sim_packed} — the default engine. *)
+module Packed_bench = Sliced (Slice.Packed)
+
+(* Historical names for the packed instance, kept for direct callers. *)
+let set_controls_packed = Packed_bench.set_controls
+let present_inputs_lanes = Packed_bench.present_inputs_lanes
+let load_weights_lanes = Packed_bench.load_weights_lanes
+let run_mac_packed = Packed_bench.run_mac
+let judge_mac_lane = Packed_bench.judge_mac_lane
+let check_mac_packed = Packed_bench.check_mac
+let verify_packed = Packed_bench.verify
+let run_stream_packed_with = Packed_bench.run_stream_with
+let run_stream_packed = Packed_bench.run_stream
 
 (** [verify ?engine m ~seed ~batches] — functional sign-off: random
     weights into every copy, [batches] random MACs per copy checked
     against {!Golden}. Returns unit or raises {!Mismatch}. The default
-    [`Packed] engine batches each copy's MACs as {!Sim_packed} lanes and
-    shrinks any failing lane back to one scalar transaction; [`Scalar]
-    checks one MAC at a time (the reference the equivalence property
-    pins the packed engine against). *)
-let verify ?(engine = `Packed) (m : Macro_rtl.t) ~seed ~batches =
+    [`Packed] engine batches each copy's MACs as {!Sim_packed} lanes
+    and shrinks any failing lane back to one scalar transaction;
+    [`Multiword w] does the same [w] lanes at a time ({!Sim_multiword});
+    [`Scalar] checks one MAC at a time (the reference the conformance
+    suite pins every sliced engine against). All engines draw one
+    identical RNG stream, so the verdict — and any Mismatch payload —
+    is engine-independent. *)
+let verify ?(engine : Engine.t = `Packed) (m : Macro_rtl.t) ~seed ~batches =
   match engine with
   | `Scalar -> verify_scalar m ~seed ~batches
   | `Packed -> verify_packed m ~seed ~batches
-
-(** [run_stream_packed m sim ~rng ~macs ~input_density] — the bit-sliced
-    mirror of {!run_stream}: [macs] back-to-back MACs at full pipeline
-    rate in every lane, with an independent random input stream per lane.
-    One packed run gathers [lanes_of sim ×] the toggle sample mass of a
-    scalar {!run_stream} of the same length — the power Monte Carlo
-    fan-out. Weights must already be loaded ({!load_weights_lanes});
-    statistics should be read from [sim] afterwards
-    ({!Power.estimate_packed}). *)
-let run_stream_packed_with (m : Macro_rtl.t) sim
-    ~(next_inputs : int -> int array array) ~macs =
-  let db = m.db in
-  let total = m.align_lat + (macs * db) + m.tree_lat + m.post_lat + 1 in
-  for cyc = 0 to total - 1 do
-    if cyc mod db = 0 && cyc / db < macs then
-      present_inputs_lanes m sim (next_inputs (cyc / db));
-    let load = cyc >= m.align_lat && (cyc - m.align_lat) mod db = 0
-               && (cyc - m.align_lat) / db < macs in
-    let k = cyc - m.align_lat - 1 - m.tree_lat in
-    let first_fill = m.align_lat + 1 + m.tree_lat in
-    let sa_en = cyc >= first_fill && k < macs * db in
-    let sa_clr = sa_en && k mod db = 0 in
-    let sa_neg =
-      sa_en && db > 1
-      && k mod db = (if m.neg_on_last then db - 1 else 0)
-    in
-    if is_fp m then
-      Sim_packed.set_bus sim "align_en"
-        (if cyc mod db < max m.align_lat 1 && cyc / db < macs then 1 else 0);
-    set_controls_packed sim ~load ~sa_en ~sa_clr ~sa_neg;
-    Sim_packed.step sim
-  done
-
-let run_stream_packed (m : Macro_rtl.t) sim ~rng ~macs ~input_density =
-  let n_lanes = Sim_packed.lanes_of sim in
-  run_stream_packed_with m sim ~macs ~next_inputs:(fun _ ->
-      Array.init n_lanes (fun _ ->
-          Array.init m.cfg.rows (fun _ ->
-              random_input ~realistic:true rng m ~density:input_density)))
+  | `Multiword _ as e ->
+      let module E = (val Engine.slice e) in
+      let module B = Sliced (E) in
+      B.verify m ~seed ~batches
 
 (** [run_stream_with m sim ~next_inputs ~macs] — the replayable core of
     {!run_stream}: [next_inputs k] supplies MAC [k]'s raw input words, so

@@ -71,6 +71,31 @@ let measure_power_packed ?(seed = 0xD1C) ?loads ?n_lanes lib
   Testbench.run_stream_packed m sim ~rng ~macs ~input_density;
   Power.estimate_packed m.design lib sim ~freq_hz ~vdd ?loads ()
 
+(** [measure_power_sliced (module E) lib m ...] — {!measure_power_packed}
+    generalized over the slice engine: any {!Slice.S} implementation
+    (63-lane packed, 126/252-lane multi-word) streams the same Monte
+    Carlo workload and folds its lane-summed counters through
+    {!Power.estimate_activity} with [lanes × cycles] effective cycles.
+    Given the same [n_lanes], every engine draws the identical stimulus
+    and produces bit-identical counters, hence bit-identical reports —
+    the conformance property the test suite pins. *)
+let measure_power_sliced (module E : Slice.S) ?(seed = 0xD1C) ?loads
+    ?n_lanes lib (m : Macro_rtl.t) ~freq_hz ~vdd ~input_density
+    ~weight_density ~macs =
+  let module B = Testbench.Sliced (E) in
+  let rng = Rng.create seed in
+  let sim = E.create ?n_lanes m.Macro_rtl.design in
+  if m.cfg.mcr > 1 then E.set_bus sim "copy_sel" 0;
+  B.load_weights_lanes m sim ~copy:0
+    (Array.init (E.lanes_of sim) (fun _ ->
+         Testbench.random_weights rng m ~density:weight_density));
+  E.reset_stats sim;
+  B.run_stream m sim ~rng ~macs ~input_density;
+  Power.estimate_activity m.design lib ~toggles:(E.toggles sim)
+    ~en_cycles:(E.en_cycles sim)
+    ~cycles:(E.cycles sim * E.lanes_of sim)
+    ~weight_flips:(E.weight_flips sim) ~freq_hz ~vdd ?loads ()
+
 (** [evaluate lib spec cfg] builds and measures one candidate. *)
 let evaluate (lib : Library.t) (spec : Spec.t) (cfg : Macro_rtl.config) : t =
   let macro = Macro_rtl.build lib cfg in

@@ -201,136 +201,13 @@ let check_macro_scalar ?bug ~seed ~random_batches (m : Macro_rtl.t) :
   in
   loop sets
 
-(* ---------------- bit-sliced (packed) engine ---------------- *)
+(* ---------------- bit-sliced engines ---------------- *)
 
-(* One lane of a packed batch: a vector set checked on one weight copy
+(* One lane of a sliced batch: a vector set checked on one weight copy
    (weights already rotated for copy > 0). *)
 type lane_job = { set : Corners.vector_set; copy : int }
 
-(* The packed mirror of [run_mac]: the control schedule (and any injected
-   fault) is broadcast to every lane, the inputs differ per lane. Returns
-   results.(lane).(word). *)
-let run_mac_packed ?bug (m : Macro_rtl.t) sim
-    ~(inputs : int array array) =
-  let db = m.Macro_rtl.db in
-  Testbench.present_inputs_lanes m sim inputs;
-  Testbench.set_controls_packed sim ~load:false ~sa_en:false ~sa_clr:false
-    ~sa_neg:false;
-  if is_fp m then Sim_packed.set_bus sim "align_en" 1;
-  for _ = 1 to m.Macro_rtl.align_lat do
-    Sim_packed.step sim
-  done;
-  if is_fp m then Sim_packed.set_bus sim "align_en" 0;
-  Testbench.set_controls_packed sim ~load:true ~sa_en:false ~sa_clr:false
-    ~sa_neg:false;
-  Sim_packed.step sim;
-  let last = m.Macro_rtl.tree_lat + db - 1 in
-  for k = 0 to last do
-    let first = k = m.Macro_rtl.tree_lat in
-    let sign_cycle =
-      if m.Macro_rtl.neg_on_last then k = last else first
-    in
-    let sa_neg =
-      sign_cycle && db > 1 && bug <> Some Skip_sign_cycle
-    in
-    Testbench.set_controls_packed sim ~load:false
-      ~sa_en:(k >= m.Macro_rtl.tree_lat)
-      ~sa_clr:first ~sa_neg;
-    Sim_packed.step sim
-  done;
-  Testbench.set_controls_packed sim ~load:false ~sa_en:false ~sa_clr:false
-    ~sa_neg:false;
-  let post =
-    match bug with
-    | Some Retime_early_sample -> max 0 (m.Macro_rtl.post_lat - 1)
-    | _ -> m.Macro_rtl.post_lat
-  in
-  for _ = 1 to post do
-    Sim_packed.step sim
-  done;
-  Sim_packed.eval sim;
-  Array.init
-    (Sim_packed.lanes_of sim)
-    (fun l ->
-      Array.init m.Macro_rtl.words (fun g ->
-          Sim_packed.read_bus_signed_lane sim
-            (Printf.sprintf "result%d" g)
-            l))
-
-(* Load one chunk of lane jobs into a fresh packed simulator: every lane
-   stores its own weights in the copy it reads, and (with MCR > 1)
-   selects that copy through a per-lane [copy_sel]. Bits written into a
-   copy no lane of that copy owns are zero — never read, since each lane
-   only observes its selected copy. *)
-let load_chunk (m : Macro_rtl.t) (jobs : lane_job array) =
-  let n = Array.length jobs in
-  let sim = Sim_packed.create ~n_lanes:n m.Macro_rtl.design in
-  let copies =
-    List.sort_uniq compare
-      (Array.to_list (Array.map (fun j -> j.copy) jobs))
-  in
-  List.iter
-    (fun c ->
-      for g = 0 to m.Macro_rtl.words - 1 do
-        for r = 0 to m.Macro_rtl.cfg.Macro_rtl.rows - 1 do
-          for j = 0 to m.Macro_rtl.wb - 1 do
-            let w = ref 0 in
-            for l = 0 to n - 1 do
-              if jobs.(l).copy = c then
-                w :=
-                  !w
-                  lor (((jobs.(l).set.Corners.weights.(g).(r) asr j) land 1)
-                      lsl l)
-            done;
-            Sim_packed.set_weight sim ~row:r
-              ~col:((g * m.Macro_rtl.wb) + j)
-              ~copy:c !w
-          done
-        done
-      done)
-    copies;
-  if m.Macro_rtl.cfg.Macro_rtl.mcr > 1 then
-    Sim_packed.set_bus_lanes sim "copy_sel"
-      (Array.map (fun j -> j.copy) jobs);
-  sim
-
-(* Judge one finished lane with [check_set]'s exact counting semantics:
-   exponent first (FP), then words in order, first divergence wins. *)
-let judge_lane (m : Macro_rtl.t) sim (results : int array array) l
-    (job : lane_job) : int * failure option =
-  let set = job.set in
-  let xs, exp_expected = datapath_view m set.Corners.inputs in
-  let checks = ref 0 in
-  let fail = ref None in
-  (match exp_expected with
-  | Some e ->
-      incr checks;
-      let got = Sim_packed.read_bus_lane sim "group_exp" l in
-      if got <> e then
-        fail :=
-          Some
-            {
-              set_name = set.Corners.name ^ " (group exponent)";
-              word = -1;
-              expected = e;
-              got;
-            }
-  | None -> ());
-  Array.iteri
-    (fun g got ->
-      if !fail = None then begin
-        incr checks;
-        let expected =
-          Golden.dot ~weights:set.Corners.weights.(g) ~inputs:xs
-        in
-        if got <> expected then
-          fail :=
-            Some { set_name = set.Corners.name; word = g; expected; got }
-      end)
-    results.(l);
-  (!checks, !fail)
-
-(* Shrink a packed-lane divergence back to a single scalar simulation:
+(* Shrink a sliced-lane divergence back to a single scalar simulation:
    the minimal reproducer a debug session replays without the lane
    machinery. If the scalar rerun confirms, its failure record wins;
    a packed-only divergence (a lane-equivalence bug in the engine
@@ -345,68 +222,200 @@ let scalar_reproduce ?bug (m : Macro_rtl.t) (job : lane_job)
   | _, Some f -> f
   | _, None -> { packed with set_name = packed.set_name ^ " (packed-only)" }
 
-(** [check_macro_packed ?bug ~seed ~random_batches m] — the bit-sliced
-    engine: every (vector set × weight copy) job becomes one lane of a
-    packed simulation, so up to {!Sim_packed.lanes} differential
-    transactions settle per netlist pass instead of one. The outcome
-    mirrors the scalar engine's counting exactly — lanes are judged in
-    set order and the first divergence wins — and a failing lane is
+(** The bit-sliced differential engine, written once against {!Slice.S}:
+    every (vector set × weight copy) job becomes one lane, so up to
+    [E.max_lanes] differential transactions settle per netlist pass
+    instead of one. The outcome mirrors the scalar engine's counting
+    exactly — lanes are judged in set order and the first divergence
+    wins, independent of the engine's lane width — and a failing lane is
     re-run through the scalar simulator for a minimal reproducer. *)
+module Sliced_engine (E : Slice.S) = struct
+  (* The sliced mirror of [run_mac]: the control schedule (and any
+     injected fault) is broadcast to every lane, the inputs differ per
+     lane. Returns results.(lane).(word). *)
+  let run_mac ?bug (m : Macro_rtl.t) sim ~(inputs : int array array) =
+    let module B = Testbench.Sliced (E) in
+    let db = m.Macro_rtl.db in
+    B.present_inputs_lanes m sim inputs;
+    B.set_controls sim ~load:false ~sa_en:false ~sa_clr:false
+      ~sa_neg:false;
+    if is_fp m then E.set_bus sim "align_en" 1;
+    for _ = 1 to m.Macro_rtl.align_lat do
+      E.step sim
+    done;
+    if is_fp m then E.set_bus sim "align_en" 0;
+    B.set_controls sim ~load:true ~sa_en:false ~sa_clr:false
+      ~sa_neg:false;
+    E.step sim;
+    let last = m.Macro_rtl.tree_lat + db - 1 in
+    for k = 0 to last do
+      let first = k = m.Macro_rtl.tree_lat in
+      let sign_cycle =
+        if m.Macro_rtl.neg_on_last then k = last else first
+      in
+      let sa_neg =
+        sign_cycle && db > 1 && bug <> Some Skip_sign_cycle
+      in
+      B.set_controls sim ~load:false
+        ~sa_en:(k >= m.Macro_rtl.tree_lat)
+        ~sa_clr:first ~sa_neg;
+      E.step sim
+    done;
+    B.set_controls sim ~load:false ~sa_en:false ~sa_clr:false
+      ~sa_neg:false;
+    let post =
+      match bug with
+      | Some Retime_early_sample -> max 0 (m.Macro_rtl.post_lat - 1)
+      | _ -> m.Macro_rtl.post_lat
+    in
+    for _ = 1 to post do
+      E.step sim
+    done;
+    E.eval sim;
+    Array.init (E.lanes_of sim) (fun l ->
+        Array.init m.Macro_rtl.words (fun g ->
+            E.read_bus_signed_lane sim (Printf.sprintf "result%d" g) l))
+
+  (* Load one chunk of lane jobs into a fresh sliced simulator: every
+     lane stores its own weights in the copy it reads, and (with MCR >
+     1) selects that copy through a per-lane [copy_sel]. Bits written
+     into a copy no lane of that copy owns are zero — never read, since
+     each lane only observes its selected copy. *)
+  let load_chunk (m : Macro_rtl.t) (jobs : lane_job array) =
+    let n = Array.length jobs in
+    let sim = E.create ~n_lanes:n m.Macro_rtl.design in
+    let copies =
+      List.sort_uniq compare
+        (Array.to_list (Array.map (fun j -> j.copy) jobs))
+    in
+    let bits = Array.make n false in
+    List.iter
+      (fun c ->
+        for g = 0 to m.Macro_rtl.words - 1 do
+          for r = 0 to m.Macro_rtl.cfg.Macro_rtl.rows - 1 do
+            for j = 0 to m.Macro_rtl.wb - 1 do
+              for l = 0 to n - 1 do
+                bits.(l) <-
+                  jobs.(l).copy = c
+                  && (jobs.(l).set.Corners.weights.(g).(r) asr j) land 1 = 1
+              done;
+              E.set_weight_lanes sim ~row:r
+                ~col:((g * m.Macro_rtl.wb) + j)
+                ~copy:c bits
+            done
+          done
+        done)
+      copies;
+    if m.Macro_rtl.cfg.Macro_rtl.mcr > 1 then
+      E.set_bus_lanes sim "copy_sel" (Array.map (fun j -> j.copy) jobs);
+    sim
+
+  (* Judge one finished lane with [check_set]'s exact counting
+     semantics: exponent first (FP), then words in order, first
+     divergence wins. *)
+  let judge_lane (m : Macro_rtl.t) sim (results : int array array) l
+      (job : lane_job) : int * failure option =
+    let set = job.set in
+    let xs, exp_expected = datapath_view m set.Corners.inputs in
+    let checks = ref 0 in
+    let fail = ref None in
+    (match exp_expected with
+    | Some e ->
+        incr checks;
+        let got = E.read_bus_lane sim "group_exp" l in
+        if got <> e then
+          fail :=
+            Some
+              {
+                set_name = set.Corners.name ^ " (group exponent)";
+                word = -1;
+                expected = e;
+                got;
+              }
+    | None -> ());
+    Array.iteri
+      (fun g got ->
+        if !fail = None then begin
+          incr checks;
+          let expected =
+            Golden.dot ~weights:set.Corners.weights.(g) ~inputs:xs
+          in
+          if got <> expected then
+            fail :=
+              Some { set_name = set.Corners.name; word = g; expected; got }
+        end)
+      results.(l);
+    (!checks, !fail)
+
+  let check_macro ?bug ~seed ~random_batches (m : Macro_rtl.t) : outcome =
+    let mcr = m.Macro_rtl.cfg.Macro_rtl.mcr in
+    let rng = Rng.create seed in
+    let sets =
+      Corners.sets m @ Corners.random_sets rng m ~batches:random_batches
+    in
+    let jobs =
+      List.concat_map
+        (fun set ->
+          if mcr > 1 then
+            [
+              { set; copy = 0 };
+              {
+                set =
+                  {
+                    set with
+                    Corners.weights = rotate_rows set.Corners.weights;
+                  };
+                copy = mcr - 1;
+              };
+            ]
+          else [ { set; copy = 0 } ])
+        sets
+      |> Array.of_list
+    in
+    let total = Array.length jobs in
+    let checks = ref 0 in
+    let failure = ref None in
+    let pos = ref 0 in
+    while !failure = None && !pos < total do
+      let n = min E.max_lanes (total - !pos) in
+      let chunk = Array.sub jobs !pos n in
+      let sim = load_chunk m chunk in
+      let results =
+        run_mac ?bug m sim
+          ~inputs:(Array.map (fun j -> j.set.Corners.inputs) chunk)
+      in
+      let l = ref 0 in
+      while !failure = None && !l < n do
+        let job = chunk.(!l) in
+        let c, f = judge_lane m sim results !l job in
+        checks := !checks + c;
+        (match f with
+        | None -> ()
+        | Some f ->
+            let f = scalar_reproduce ?bug m job f in
+            let f =
+              if job.copy = 0 then f
+              else
+                {
+                  f with
+                  set_name = Printf.sprintf "%s@copy%d" f.set_name job.copy;
+                }
+            in
+            failure := Some f);
+        incr l
+      done;
+      pos := !pos + n
+    done;
+    { checks = !checks; failure = !failure }
+end
+
+module Packed_engine = Sliced_engine (Slice.Packed)
+
+(** [check_macro_packed ?bug ~seed ~random_batches m] — the 63-lane
+    {!Sliced_engine} instance over {!Sim_packed}. *)
 let check_macro_packed ?bug ~seed ~random_batches (m : Macro_rtl.t) :
     outcome =
-  let mcr = m.Macro_rtl.cfg.Macro_rtl.mcr in
-  let rng = Rng.create seed in
-  let sets =
-    Corners.sets m @ Corners.random_sets rng m ~batches:random_batches
-  in
-  let jobs =
-    List.concat_map
-      (fun set ->
-        if mcr > 1 then
-          [
-            { set; copy = 0 };
-            {
-              set =
-                { set with Corners.weights = rotate_rows set.Corners.weights };
-              copy = mcr - 1;
-            };
-          ]
-        else [ { set; copy = 0 } ])
-      sets
-    |> Array.of_list
-  in
-  let total = Array.length jobs in
-  let checks = ref 0 in
-  let failure = ref None in
-  let pos = ref 0 in
-  while !failure = None && !pos < total do
-    let n = min Sim_packed.lanes (total - !pos) in
-    let chunk = Array.sub jobs !pos n in
-    let sim = load_chunk m chunk in
-    let results = run_mac_packed ?bug m sim ~inputs:(Array.map (fun j -> j.set.Corners.inputs) chunk) in
-    let l = ref 0 in
-    while !failure = None && !l < n do
-      let job = chunk.(!l) in
-      let c, f = judge_lane m sim results !l job in
-      checks := !checks + c;
-      (match f with
-      | None -> ()
-      | Some f ->
-          let f = scalar_reproduce ?bug m job f in
-          let f =
-            if job.copy = 0 then f
-            else
-              {
-                f with
-                set_name = Printf.sprintf "%s@copy%d" f.set_name job.copy;
-              }
-          in
-          failure := Some f);
-      incr l
-    done;
-    pos := !pos + n
-  done;
-  { checks = !checks; failure = !failure }
+  Packed_engine.check_macro ?bug ~seed ~random_batches m
 
 (** [check_macro ?engine ?bug ~seed ~random_batches m] — drive a built
     macro through every directed corner set plus [random_batches] random
@@ -414,13 +423,18 @@ let check_macro_packed ?bug ~seed ~random_batches (m : Macro_rtl.t) :
     each set is additionally checked on the last weight copy (with
     row-rotated weights), covering the copy-select mux. The default
     [`Packed] engine batches the transactions {!Sim_packed.lanes} at a
-    time; [`Scalar] runs them one by one (the reference the equivalence
-    tests pin the packed engine against). *)
-let check_macro ?(engine = `Packed) ?bug ~seed ~random_batches
+    time; [`Multiword w] batches them [w] at a time ({!Sim_multiword});
+    [`Scalar] runs them one by one (the reference the conformance suite
+    pins the sliced engines against). *)
+let check_macro ?(engine : Engine.t = `Packed) ?bug ~seed ~random_batches
     (m : Macro_rtl.t) : outcome =
   match engine with
   | `Scalar -> check_macro_scalar ?bug ~seed ~random_batches m
   | `Packed -> check_macro_packed ?bug ~seed ~random_batches m
+  | `Multiword _ as e ->
+      let module E = (val Engine.slice e) in
+      let module D = Sliced_engine (E) in
+      D.check_macro ?bug ~seed ~random_batches m
 
 (** [check_spec ?engine ?bug ?random_batches ~seed ctx spec] — compile
     the spec's initial configuration over the context's library and

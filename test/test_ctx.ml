@@ -131,6 +131,100 @@ let test_service_isolation () =
     st.Service.compiled;
   check_int "no cache hits without a cache" 0 st.Service.cache_hits
 
+(* ---------------- Service engine overrides ---------------- *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun name -> rm_rf (Filename.concat path name))
+        (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* Repeated compiles through one warm service under per-request engine
+   overrides: the cumulative counters must add up, the summaries must be
+   engine-invariant (the conformance suite's bit-identity is what makes
+   that sound), and each request's trace must equal a solo compile with
+   the same engine. With a persistent cache attached, the first engine
+   compiles and every other engine hits the same entry — the cache key
+   deliberately excludes the engine, because engines never change the
+   result. *)
+let test_service_engine_overrides () =
+  let engines : Ctx.engine list = [ `Scalar; `Packed; `Multiword 126 ] in
+  (* uncached service: every engine compiles, summaries identical *)
+  let svc = Service.create (Ctx.with_jobs 2 (Ctx.fresh ())) in
+  let sums =
+    List.map
+      (fun e ->
+        let r = Service.compile ~verify_engine:e svc small_spec in
+        match r.Service.outcome with
+        | Ok s -> (e, s, r.Service.trace)
+        | Error d ->
+            Alcotest.failf "engine %s failed: %s" (Ctx.engine_name e)
+              (Diag.to_string d))
+      engines
+  in
+  (match sums with
+  | (_, first, _) :: rest ->
+      List.iter
+        (fun (e, s, _) ->
+          check_bool
+            (Printf.sprintf "metrics engine-invariant (%s)"
+               (Ctx.engine_name e))
+            true
+            (s.Pipeline.sum_metrics = first.Pipeline.sum_metrics))
+        rest
+  | [] -> assert false);
+  (* each request's trace equals a solo compile with the same engine *)
+  List.iter
+    (fun (e, _, trace) ->
+      let tr = Trace.create () in
+      (match
+         Pipeline.run_cached ~verify_engine:e ~trace:tr (Ctx.with_jobs 2 (Ctx.fresh ()))
+           small_spec
+       with
+      | Ok _ -> ()
+      | Error d -> Alcotest.failf "solo replay failed: %s" (Diag.to_string d));
+      check_string
+        (Printf.sprintf "trace matches solo compile (%s)" (Ctx.engine_name e))
+        (Trace.fingerprint tr) (Trace.fingerprint trace))
+    sums;
+  let st = Service.stats svc in
+  check_int "requests counted" 3 st.Service.requests;
+  check_int "all compiled (no cache)" 3 st.Service.compiled;
+  check_int "no cache hits without a cache" 0 st.Service.cache_hits;
+  check_int "no failures" 0 st.Service.failures;
+  (* cached service: one miss compiles, the other engines hit *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "syndcim-engine-cache-%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  let ctx =
+    match Ctx.with_cache_dir dir (Ctx.with_jobs 2 (Ctx.fresh ())) with
+    | Ok c -> c
+    | Error d -> Alcotest.failf "cache dir: %s" (Diag.to_string d)
+  in
+  let svc = Service.create ctx in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      List.iter
+        (fun e ->
+          match (Service.compile ~verify_engine:e svc small_spec).Service.outcome with
+          | Ok _ -> ()
+          | Error d ->
+              Alcotest.failf "cached request (%s) failed: %s"
+                (Ctx.engine_name e) (Diag.to_string d))
+        engines;
+      let st = Service.stats svc in
+      check_int "cached: requests counted" 3 st.Service.requests;
+      check_int "cached: one compile" 1 st.Service.compiled;
+      check_int "cached: two hits" 2 st.Service.cache_hits;
+      check_int "cached: no failures" 0 st.Service.failures)
+
 (* ---------------- source guard ---------------- *)
 
 (* Nobody below the tests may construct the world by hand: every
@@ -205,6 +299,19 @@ let test_ctx_builders () =
   check_string "engine builder" "scalar" (Ctx.engine_name (Ctx.engine e));
   check_string "verify engine follows" "scalar"
     (Ctx.engine_name (Ctx.verify_engine e));
+  let mw = Ctx.with_engines (`Multiword 126) ctx in
+  check_string "multiword engine name" "multiword:126"
+    (Ctx.engine_name (Ctx.engine mw));
+  check_bool "validate_engine parses packed" true
+    (Ctx.validate_engine "packed" = Ok `Packed);
+  check_bool "validate_engine parses multiword:252" true
+    (Ctx.validate_engine "multiword:252" = Ok (`Multiword 252));
+  check_bool "validate_engine rejects junk" true
+    (match Ctx.validate_engine "vliw" with Error _ -> true | Ok _ -> false);
+  check_bool "validate_engine rejects out-of-range width" true
+    (match Ctx.validate_engine "multiword:0" with
+    | Error _ -> true
+    | Ok _ -> false);
   let s = Ctx.with_seed 42 ctx in
   check_int "seed builder" 42 (Ctx.seed s);
   check_bool "default shares the world" true
@@ -227,6 +334,8 @@ let () =
         [
           Alcotest.test_case "parallel request isolation" `Slow
             test_service_isolation;
+          Alcotest.test_case "engine overrides: counters and cache hits"
+            `Slow test_service_engine_overrides;
         ] );
       ( "guard",
         [

@@ -1,141 +1,34 @@
-(* Lane-parallel equivalence suite: property tests pinning every packed
-   batch path — signoff verification (Testbench.verify), metamorphic
-   checking (Metamorph/Equiv) and the Fig. 9 shmoo column batching — to
-   the scalar reference engine it replaced. Bit-exact agreement is the
-   acceptance gate: verdicts, Mismatch payloads, toggle counters and
-   energy floats must all be identical, not merely close. *)
+(* Lane-parallel integration suite: the batch paths that sit above the
+   slice engines — the signoff_verify pipeline stage, the metamorphic
+   checker's engine/jobs invariance and the Fig. 9 shmoo rendering.
+
+   The per-engine equivalence battery (lane state, counters, verify /
+   diffcheck / equiv verdict parity, measured-energy bit-identity)
+   lives in conformance.ml and runs from test_conformance.ml for every
+   engine pair, multi-word engines included. *)
 
 let lib = Library.n40 ()
 let scl = Scl.create lib
 let ctx = Ctx.of_parts lib scl
 let check_bool = Alcotest.(check bool)
-let check_int = Alcotest.(check int)
-let gen_spec seed = List.hd (Specgen.generate ~seed ~count:1)
-let macro_of spec = Macro_rtl.build lib (Spec.initial_config spec)
 
-let contains s sub =
-  let n = String.length sub and m = String.length s in
-  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
-  go 0
-
-(* ---------------- packed signoff verification ---------------- *)
-
-(* A verify run's observable outcome: None for a pass, the full Mismatch
-   payload for a failure. Engine equivalence = equal outcomes. *)
-let verify_outcome engine (m : Macro_rtl.t) ~seed ~batches =
-  match Testbench.verify ~engine m ~seed ~batches with
-  | () -> None
-  | exception Testbench.Mismatch { word; expected; got; detail } ->
-      Some (word, expected, got, detail)
-
-let test_verify_engines_agree_canonical () =
-  List.iter
-    (fun (name, spec) ->
-      let m = macro_of spec in
-      let s = verify_outcome `Scalar m ~seed:0xACC ~batches:3 in
-      let p = verify_outcome `Packed m ~seed:0xACC ~batches:3 in
-      check_bool (name ^ ": scalar passes") true (s = None);
-      check_bool (name ^ ": verdicts identical") true (s = p))
-    Snapshot.canonical_specs
-
-let verify_engines_agree_prop =
-  QCheck.Test.make ~count:20
-    ~name:"verify verdict engine-invariant on fuzzed specs" QCheck.small_nat
-    (fun seed ->
-      let m = macro_of (gen_spec seed) in
-      verify_outcome `Scalar m ~seed:(seed + 3) ~batches:2
-      = verify_outcome `Packed m ~seed:(seed + 3) ~batches:2)
-
-(* One signoff batch packed as lanes against per-lane scalar replicas:
-   MAC results must match, and the packed toggle / enable counters must
-   equal the element-wise sums of the scalar counters. *)
-let signoff_counters_agree ~seed (m : Macro_rtl.t) =
-  let d = m.Macro_rtl.design in
-  let n = 5 in
-  let rng = Rng.create (seed lxor 0xBEEF) in
-  let weights =
-    Array.init n (fun _ -> Testbench.random_weights rng m ~density:1.0)
-  in
-  let inputs =
-    Array.init n (fun _ ->
-        Array.init m.Macro_rtl.cfg.Macro_rtl.rows (fun _ ->
-            Testbench.random_input rng m ~density:1.0))
-  in
-  let psim = Sim_packed.create ~n_lanes:n d in
-  if m.Macro_rtl.cfg.Macro_rtl.mcr > 1 then
-    Sim_packed.set_bus psim "copy_sel" 0;
-  Testbench.load_weights_lanes m psim ~copy:0 weights;
-  let packed_results = Testbench.check_mac_packed m psim ~weights ~inputs in
-  let sims = Array.init n (fun _ -> Sim.create d) in
-  let scalar_results =
-    Array.mapi
-      (fun l sim ->
-        if m.Macro_rtl.cfg.Macro_rtl.mcr > 1 then
-          Sim.set_bus sim "copy_sel" 0;
-        Testbench.load_weights m sim ~copy:0 weights.(l);
-        Testbench.check_mac m sim ~weights:weights.(l) ~inputs:inputs.(l))
-      sims
-  in
-  if packed_results <> scalar_results then
-    QCheck.Test.fail_reportf "seed %d: MAC results diverge" seed;
-  let sum f = Array.fold_left (fun acc sim -> acc + f sim) 0 sims in
-  for net = 0 to d.Ir.n_nets - 1 do
-    if psim.Sim_packed.toggles.(net) <> sum (fun sim -> sim.Sim.toggles.(net))
-    then
-      QCheck.Test.fail_reportf "seed %d: net %d toggle counters diverge" seed
-        net
-  done;
-  for i = 0 to Array.length psim.Sim_packed.en_cycles - 1 do
-    if psim.Sim_packed.en_cycles.(i) <> sum (fun sim -> sim.Sim.en_cycles.(i))
-    then
-      QCheck.Test.fail_reportf "seed %d: inst %d en_cycles diverge" seed i
-  done;
-  if psim.Sim_packed.cycles <> sims.(0).Sim.cycles then
-    QCheck.Test.fail_reportf "seed %d: cycle counts diverge" seed;
-  true
-
-let test_signoff_counters_canonical () =
-  List.iteri
-    (fun i (_, spec) ->
-      ignore (signoff_counters_agree ~seed:(100 + i) (macro_of spec)))
-    Snapshot.canonical_specs
-
-let signoff_counters_prop =
-  QCheck.Test.make ~count:20
-    ~name:"packed signoff toggle counters = scalar lane sums"
-    QCheck.small_nat
-    (fun seed -> signoff_counters_agree ~seed (macro_of (gen_spec seed)))
-
-(* An early-sampled post pipeline (the Retime_early_sample fault) must be
-   caught by the packed signoff with the exact Mismatch the scalar bench
-   raises — the scalar-minimal reproducer, not a packed-only marker. *)
-let test_injected_bug_caught_with_scalar_reproducer () =
-  let spec = snd (List.hd Snapshot.canonical_specs) in
-  let cfg =
-    { (Spec.initial_config spec) with Macro_rtl.ofu_extra_pipe = true }
-  in
-  let m = Macro_rtl.build lib cfg in
-  check_bool "macro has a post pipeline stage" true (m.Macro_rtl.post_lat >= 1);
-  let buggy = { m with Macro_rtl.post_lat = m.Macro_rtl.post_lat - 1 } in
-  let s = verify_outcome `Scalar buggy ~seed:7 ~batches:2 in
-  let p = verify_outcome `Packed buggy ~seed:7 ~batches:2 in
-  check_bool "scalar engine catches the bug" true (s <> None);
-  check_bool "packed reproducer identical to scalar" true (s = p);
-  match p with
-  | Some (_, _, _, detail) ->
-      check_bool "reproducer is scalar-minimal" true
-        (not (contains detail "packed-only"))
-  | None -> Alcotest.fail "packed engine missed the injected bug"
-
-(* The signoff_verify stage itself: compiling with either engine must
+(* The signoff_verify stage itself: compiling with any engine must
    produce identical metrics and verdicts. *)
 let test_pipeline_verify_engine_invariant () =
   let spec = snd (List.hd Snapshot.canonical_specs) in
   let a = Pipeline.artifact_exn (Pipeline.run ~verify_engine:`Scalar ctx spec) in
   let b = Pipeline.artifact_exn (Pipeline.run ~verify_engine:`Packed ctx spec) in
-  check_bool "metrics identical" true (a.Pipeline.metrics = b.Pipeline.metrics);
-  check_bool "verdict identical" true
-    (a.Pipeline.timing_closed = b.Pipeline.timing_closed)
+  let c =
+    Pipeline.artifact_exn
+      (Pipeline.run ~verify_engine:(`Multiword 126) ctx spec)
+  in
+  check_bool "packed metrics identical" true
+    (a.Pipeline.metrics = b.Pipeline.metrics);
+  check_bool "multiword metrics identical" true
+    (a.Pipeline.metrics = c.Pipeline.metrics);
+  check_bool "verdicts identical" true
+    (a.Pipeline.timing_closed = b.Pipeline.timing_closed
+    && a.Pipeline.timing_closed = c.Pipeline.timing_closed)
 
 (* ---------------- metamorphic checking ---------------- *)
 
@@ -144,114 +37,27 @@ let test_check_moves_engine_and_jobs_invariant () =
   let scalar = Metamorph.check_moves ~jobs:1 ~engine:`Scalar ~seed:13 ctx spec in
   let p1 = Metamorph.check_moves ~jobs:1 ~engine:`Packed ~seed:13 ctx spec in
   let p4 = Metamorph.check_moves ~jobs:4 ~engine:`Packed ~seed:13 ctx spec in
+  let m1 =
+    Metamorph.check_moves ~jobs:1 ~engine:(`Multiword 126) ~seed:13 ctx spec
+  in
   check_bool "all variants pass" true
     (List.for_all (fun r -> r.Metamorph.ok) scalar);
-  check_bool "engine-invariant" true (scalar = p1);
+  check_bool "engine-invariant (packed)" true (scalar = p1);
+  check_bool "engine-invariant (multiword)" true (scalar = m1);
   check_bool "job-count-invariant" true (p1 = p4)
 
 let test_check_equiv_pair_engine_invariant () =
   let spec = snd (List.hd Snapshot.canonical_specs) in
   let s = Metamorph.check_equiv_pair ~engine:`Scalar ~seed:5 ctx spec in
   let p = Metamorph.check_equiv_pair ~engine:`Packed ~seed:5 ctx spec in
+  let m =
+    Metamorph.check_equiv_pair ~engine:(`Multiword 252) ~seed:5 ctx spec
+  in
   check_bool "pair equivalent" true p.Metamorph.ok;
-  check_bool "engine-invariant" true (s = p)
+  check_bool "engine-invariant (packed)" true (s = p);
+  check_bool "engine-invariant (multiword)" true (s = m)
 
-(* tiny fixed-interface designs for Equiv edge tests *)
-let harness kind =
-  let ir = Ir.create () in
-  let a = Ir.new_bus ir 3 in
-  Ir.add_input ir "a" a;
-  let out =
-    Array.map
-      (fun net ->
-        let o = Ir.new_net ir in
-        ignore (Ir.add ir kind ~ins:[| net |] ~outs:[| o |]);
-        o)
-      a
-  in
-  Ir.add_output ir "out" out;
-  Ir.freeze ir
-
-(* vector batches that are not a multiple of the 63-lane word exercise
-   the partial trailing chunk of the packed engine *)
-let test_equiv_lane_count_edges () =
-  let d = harness Cell.Inv in
-  List.iter
-    (fun vectors ->
-      check_bool
-        (Printf.sprintf "%d vectors equivalent" vectors)
-        true
-        (Equiv.check ~engine:`Packed ~vectors ~settle:2 ~hold:2 d d
-        = Equiv.Equivalent vectors))
-    [ 1; 62; 63; 64; 65; 126; 127 ]
-
-let test_equiv_mismatch_engine_agreement () =
-  let a = harness Cell.Inv and b = harness Cell.Buf in
-  let s = Equiv.check ~engine:`Scalar ~vectors:5 ~settle:2 ~hold:2 a b in
-  let p = Equiv.check ~engine:`Packed ~vectors:5 ~settle:2 ~hold:2 a b in
-  (match s with
-  | Equiv.Mismatch { vector; _ } -> check_int "first vector" 0 vector
-  | Equiv.Equivalent _ -> Alcotest.fail "inverter equals buffer?");
-  check_bool "identical mismatch payload" true (s = p)
-
-let equiv_engines_agree_prop =
-  QCheck.Test.make ~count:8
-    ~name:"Equiv verdict engine-invariant on generated macro pairs"
-    QCheck.small_nat
-    (fun seed ->
-      let spec = gen_spec seed in
-      let base = Spec.initial_config spec in
-      let sub =
-        {
-          base with
-          Macro_rtl.tree = Adder_tree.Csa { fa_ratio = 1.0; reorder = true };
-        }
-      in
-      let a = (Macro_rtl.build lib base).Macro_rtl.design in
-      let b = (Macro_rtl.build lib sub).Macro_rtl.design in
-      Equiv.check ~engine:`Scalar ~seed ~vectors:8 ~settle:12 ~hold:3 a b
-      = Equiv.check ~engine:`Packed ~seed ~vectors:8 ~settle:12 ~hold:3 a b)
-
-(* ---------------- Fig. 9 column batching ---------------- *)
-
-let small_macro () =
-  Macro_rtl.build lib
-    (Macro_rtl.default ~rows:8 ~cols:16 ~mcr:1 ~input_prec:Precision.int4
-       ~weight_prec:Precision.int4)
-
-let test_measure_engines_bit_identical () =
-  let m = small_macro () in
-  let vdds = [| 0.7; 0.9; 1.1 |] and freqs_mhz = [| 300.; 600.; 900. |] in
-  let a =
-    Fig9.measure ~vdds ~freqs_mhz ~engine:`Scalar ~n_lanes:4 ~macs:2 ~jobs:1
-      ctx m ~crit_ps:950.0
-  in
-  let b =
-    Fig9.measure ~vdds ~freqs_mhz ~engine:`Packed ~n_lanes:4 ~macs:2 ~jobs:1
-      ctx m ~crit_ps:950.0
-  in
-  check_bool "pass grids identical" true (a.Fig9.grid = b.Fig9.grid);
-  Array.iteri
-    (fun vi row ->
-      Array.iteri
-        (fun fi e ->
-          let e' = b.Fig9.energy_fj.(vi).(fi) in
-          (* byte-identical, not approximately equal *)
-          if Int64.bits_of_float e <> Int64.bits_of_float e' then
-            Alcotest.failf "energy (%d,%d) diverges: %.17g vs %.17g" vi fi e
-              e')
-        row)
-    a.Fig9.energy_fj;
-  Array.iter
-    (fun vdd ->
-      check_bool
-        (Printf.sprintf "fmax at %.1f V identical" vdd)
-        true
-        (Fig9.fmax_mhz a.Fig9.grid ~vdd = Fig9.fmax_mhz b.Fig9.grid ~vdd))
-    vdds;
-  (* energies are real measurements, not zeros *)
-  check_bool "positive energies" true
-    (Array.for_all (Array.for_all (fun e -> e > 0.0)) a.Fig9.energy_fj)
+(* ---------------- Fig. 9 rendering ---------------- *)
 
 let test_fmax_absent_vdd () =
   let t =
@@ -293,14 +99,6 @@ let () =
     [
       ( "signoff",
         [
-          Alcotest.test_case "engines agree on canonical specs" `Quick
-            test_verify_engines_agree_canonical;
-          QCheck_alcotest.to_alcotest verify_engines_agree_prop;
-          Alcotest.test_case "toggle counters on canonical specs" `Quick
-            test_signoff_counters_canonical;
-          QCheck_alcotest.to_alcotest signoff_counters_prop;
-          Alcotest.test_case "injected bug: scalar-minimal reproducer" `Quick
-            test_injected_bug_caught_with_scalar_reproducer;
           Alcotest.test_case "pipeline metrics engine-invariant" `Slow
             test_pipeline_verify_engine_invariant;
         ] );
@@ -310,16 +108,9 @@ let () =
             test_check_moves_engine_and_jobs_invariant;
           Alcotest.test_case "check_equiv_pair engine-invariant" `Quick
             test_check_equiv_pair_engine_invariant;
-          Alcotest.test_case "partial trailing lane chunk" `Quick
-            test_equiv_lane_count_edges;
-          Alcotest.test_case "mismatch payload engine agreement" `Quick
-            test_equiv_mismatch_engine_agreement;
-          QCheck_alcotest.to_alcotest equiv_engines_agree_prop;
         ] );
       ( "fig9",
         [
-          Alcotest.test_case "measured grid bit-identical across engines"
-            `Quick test_measure_engines_bit_identical;
           Alcotest.test_case "fmax on absent VDD rows" `Quick
             test_fmax_absent_vdd;
           Alcotest.test_case "rendered grid snapshot" `Quick
