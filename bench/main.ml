@@ -55,10 +55,15 @@ let json_escape s =
    default (CI asserts the recorded default obeys this) *)
 let multiword_min_gain = 1.5
 
+(* the metrics-overhead gate: full instrumentation may cost at most this
+   much over the registry-disabled run of the same search workload *)
+let metrics_max_overhead_pct = 5.0
+
 let write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps
     ~signoff_batches ~signoff_scalar_cps ~signoff_packed_cps ~shmoo_lanes
     ~shmoo_scalar_s ~shmoo_packed_s ~mw_packed_cps ~mw_candidates
-    ~mw_default ~mw_autodetect ~service_cold_s ~service_warm_s =
+    ~mw_default ~mw_autodetect ~service_cold_s ~service_warm_s
+    ~metrics_on_s ~metrics_off_s =
   let b = Buffer.create 4096 in
   let entry (name, v) =
     Printf.sprintf "    {\"name\": \"%s\", \"value\": %.6g}" (json_escape name) v
@@ -121,6 +126,15 @@ let write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps
        service_cold_s service_warm_s
        (if service_warm_s > 0.0 then service_cold_s /. service_warm_s
         else 0.0));
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"metrics_overhead\": {\"instrumented_s\": %.6g, \"baseline_s\": \
+        %.6g, \"overhead_pct\": %.6g, \"max_pct\": %.1f},\n"
+       metrics_on_s metrics_off_s
+       (if metrics_off_s > 0.0 then
+          (metrics_on_s -. metrics_off_s) /. metrics_off_s *. 100.0
+        else 0.0)
+       metrics_max_overhead_pct);
   Buffer.add_string b "  \"kernels_ns_per_run\": [\n";
   Buffer.add_string b
     (String.concat ",\n" (List.map entry (List.rev !kernel_times)));
@@ -453,6 +467,43 @@ let () =
     service_cold_s service_warm_s
     (if service_warm_s > 0.0 then service_cold_s /. service_warm_s else 0.0);
 
+  (* ---------------- metrics instrumentation overhead ---------------- *)
+  banner "Metrics overhead — full MSO search, registry on vs off";
+  let metrics_on_s, metrics_off_s =
+    let spec = { Spec.fig8 with Spec.rows = 16; cols = 16; mcr = 1 } in
+    (* one throwaway run warms the SCL memo so both arms measure search
+       evaluation, not first-touch characterization *)
+    ignore (Searcher.search ~cache:(Eval_cache.create ()) lib scl spec);
+    let best_of n f =
+      let best = ref infinity in
+      for _ = 1 to n do
+        let t0 = Unix.gettimeofday () in
+        f ();
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt
+      done;
+      !best
+    in
+    let run () =
+      ignore (Searcher.search ~cache:(Eval_cache.create ()) lib scl spec)
+    in
+    let reps = if quick then 3 else 5 in
+    let on_s = best_of reps run in
+    Metrics.set_enabled false;
+    let off_s = best_of reps run in
+    Metrics.set_enabled true;
+    Printf.printf
+      "16x16 INT8 search, best of %d:\n\
+      \  instrumented: %.4f s\n\
+      \  disabled:     %.4f s\n\
+       overhead: %.2f %% (gate: <= %.1f %%)\n\
+       %!"
+      reps on_s off_s
+      (if off_s > 0.0 then (on_s -. off_s) /. off_s *. 100.0 else 0.0)
+      metrics_max_overhead_pct;
+    (on_s, off_s)
+  in
+
   (* ---------------- Bechamel kernels ---------------- *)
   banner "Bechamel — compiler kernel microbenchmarks";
   let open Bechamel in
@@ -520,5 +571,6 @@ let () =
   write_results ~jobs ~seq_s ~par_s ~packed_scalar_cps ~packed_cps
     ~signoff_batches ~signoff_scalar_cps ~signoff_packed_cps ~shmoo_lanes
     ~shmoo_scalar_s ~shmoo_packed_s ~mw_packed_cps ~mw_candidates
-    ~mw_default ~mw_autodetect ~service_cold_s ~service_warm_s;
+    ~mw_default ~mw_autodetect ~service_cold_s ~service_warm_s ~metrics_on_s
+    ~metrics_off_s;
   Printf.printf "\nbench: all experiments regenerated.\n"

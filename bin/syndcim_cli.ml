@@ -48,11 +48,13 @@ type ctx_args = {
   cli_jobs : int option;
   cli_scl_cache : string option;
   cli_engine : string option;
+  cli_metrics : bool;
+  cli_metrics_out : string option;
 }
 
-(** The one --jobs / --scl-cache / --engine triple every compiling
-    subcommand reuses; the doc strings live here once instead of per
-    subcommand. *)
+(** The one --jobs / --scl-cache / --engine / --metrics[-out] bundle
+    every compiling subcommand reuses; the doc strings live here once
+    instead of per subcommand. *)
 let ctx_term =
   let jobs =
     Arg.(
@@ -84,10 +86,28 @@ let ctx_term =
              engine wins). All engines are bit-identical; this is a \
              throughput knob.")
   in
-  let make cli_jobs cli_scl_cache cli_engine =
-    { cli_jobs; cli_scl_cache; cli_engine }
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print the process metrics registry (counters, cache \
+             hit/miss totals, per-stage latency histograms) as a table \
+             after the run.")
   in
-  Term.(const make $ jobs $ scl_cache $ engine)
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the full metrics registry as JSON to $(docv) after \
+             the run (schema syndcim-metrics/1).")
+  in
+  let make cli_jobs cli_scl_cache cli_engine cli_metrics cli_metrics_out =
+    { cli_jobs; cli_scl_cache; cli_engine; cli_metrics; cli_metrics_out }
+  in
+  Term.(const make $ jobs $ scl_cache $ engine $ metrics $ metrics_out)
 
 (** [with_ctx a f] — validate the parsed context arguments, build the
     context over the shared world, merge the persisted SCL LUT, run
@@ -135,6 +155,25 @@ let with_ctx (a : ctx_args) (f : Ctx.t -> int) : int =
       | Some n, Some p ->
           Printf.printf "subcircuit LUT (%d entries) saved to %s\n" n p
       | _ -> ());
+      (* metrics reporting runs whatever f's verdict was: a failed run
+         is exactly when "where did the time go" matters *)
+      if a.cli_metrics then begin
+        print_endline "metrics:";
+        print_string (Metrics.render ())
+      end;
+      (match a.cli_metrics_out with
+      | None -> ()
+      | Some path -> (
+          match
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out_noerr oc)
+              (fun () -> output_string oc (Metrics.to_json ()))
+          with
+          | () -> Printf.printf "metrics written to %s\n" path
+          | exception Sys_error msg ->
+              Printf.eprintf "error: cannot write metrics to %s: %s\n" path
+                msg));
       code
 
 (* ---------------- compile ---------------- *)

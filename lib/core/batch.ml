@@ -71,7 +71,8 @@ let default_spec : Spec.t =
     preference). *)
 let parse_spec_line (line : string) : (Spec.t, string) Stdlib.result =
   let tokens =
-    String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
+    String.split_on_char ' '
+      (String.map (function '\t' | '\r' -> ' ' | c -> c) line)
     |> List.filter (fun t -> t <> "")
   in
   let exception Bad of string in
@@ -142,10 +143,18 @@ let render_spec_line (s : Spec.t) : string =
     path or a glob that matched nothing. *)
 let parse_manifest (text : string) : (Spec.t list, Diag.t) Stdlib.result =
   let lines = String.split_on_char '\n' text in
+  (* A CRLF-edited manifest leaves '\r' on every line after the '\n'
+     split; strip it explicitly so the last field of each line never
+     carries a carriage return into the key=value parse. *)
+  let strip_cr line =
+    let len = String.length line in
+    if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1)
+    else line
+  in
   let rec go acc n = function
     | [] -> Ok (List.rev acc)
     | line :: rest ->
-        let t = String.trim line in
+        let t = String.trim (strip_cr line) in
         if t = "" || t.[0] = '#' then go acc (n + 1) rest
         else (
           match parse_spec_line t with
@@ -267,6 +276,15 @@ let run ?jobs ?cache ?trace (ctx : Ctx.t) (specs : Spec.t list) : result =
     items;
   let warnings = List.rev !warnings in
   List.iter (Ctx.emit ctx) warnings;
+  (* Outcome counts depend only on the manifest and the cache state, not
+     on scheduling or engine choice — all deterministic. *)
+  Metrics.incr (Metrics.counter "batch.runs");
+  Metrics.add (Metrics.counter "batch.items") (List.length items);
+  Metrics.add (Metrics.counter "batch.items_failed") !failed;
+  Metrics.add (Metrics.counter "batch.cache_hits") !hits;
+  Metrics.add (Metrics.counter "batch.cache_misses") !misses;
+  Metrics.add (Metrics.counter "batch.cache_corrupt") !corrupt;
+  Metrics.add (Metrics.counter "batch.uncached") !uncached;
   {
     items;
     hits = !hits;

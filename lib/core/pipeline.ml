@@ -425,6 +425,18 @@ let metrics_stage lib ~(policy : policy) :
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Pipeline-level registry instruments. Attempt/retry/ECO counts are
+   decided by PPA floats that every engine reproduces bit-identically
+   and every job count schedules identically, so all are deterministic. *)
+let m_pipeline_runs = Metrics.counter "pipeline.runs"
+let m_attempts = Metrics.counter "pipeline.attempts"
+let m_retries = Metrics.counter "pipeline.retries"
+let m_eco_iters = Metrics.counter "pipeline.eco_iters"
+
+(* The lookup latency distribution is wall-clock; counts come from the
+   deterministic cache.disk.* counters instead. *)
+let m_cache_lookup_ms = Metrics.histogram ~det:false "cache.disk.lookup_ms"
+
 (** [run ?style ?policy ?verify_engine ?trace ?inject ctx spec] — thread
     the five stages over the context's library and shared SCL memo,
     re-running the whole pipeline under the retry policy when the metrics
@@ -457,6 +469,11 @@ let run ?(style = Floorplan.Sdp) ?(policy = default_policy) ?verify_engine
     in
     let* power = exec (power_stage lib ~spec) (sa.macro, ba.signoff) in
     let* v = exec (metrics_stage lib ~policy) (sa, ba, power) in
+    Metrics.incr m_attempts;
+    Metrics.add m_eco_iters (List.length ba.eco);
+    (match v.retry_boost with
+    | Some _ -> Metrics.incr m_retries
+    | None -> ());
     let acc =
       acc
       @ [
@@ -486,6 +503,7 @@ let run ?(style = Floorplan.Sdp) ?(policy = default_policy) ?verify_engine
             attempts = acc;
           }
   in
+  Metrics.incr m_pipeline_runs;
   attempt [] 1.0
 
 (** [artifact_exn r] — unwrap a pipeline result, raising {!Diag.Failed}
@@ -640,6 +658,7 @@ let run_cached ?(style = Floorplan.Sdp) ?(policy = default_policy)
       let short = String.sub k 0 12 in
       let looked = Disk_cache.lookup dc k in
       let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      Metrics.observe m_cache_lookup_ms wall_ms;
       match looked with
       | Disk_cache.Hit v ->
           add_cache_row trace ~ok:true ~wall_ms

@@ -65,8 +65,19 @@ let create (ctx : Ctx.t) : t =
 
 let ctx t = t.ctx
 
+(* Request counts mirror the mutex-guarded fields into the registry;
+   the latency histogram is deterministic because only its observation
+   count (one per request) enters the fingerprint. *)
+let m_requests = Metrics.counter "service.requests"
+let m_cache_hits = Metrics.counter "service.cache_hits"
+let m_compiled = Metrics.counter "service.compiled"
+let m_failures = Metrics.counter "service.failures"
+let m_request_ms = Metrics.histogram "service.request_ms"
+
 let account t ~(outcome : (Pipeline.summary, Diag.t) Stdlib.result) ~wall_s
     =
+  Metrics.incr m_requests;
+  Metrics.observe m_request_ms (wall_s *. 1e3);
   Mutex.protect t.lock (fun () ->
       let id = t.next_id in
       t.next_id <- id + 1;
@@ -75,12 +86,16 @@ let account t ~(outcome : (Pipeline.summary, Diag.t) Stdlib.result) ~wall_s
       (match outcome with
       | Ok s -> (
           match s.Pipeline.sum_cache with
-          | Pipeline.Cache_hit -> t.cache_hits <- t.cache_hits + 1
+          | Pipeline.Cache_hit ->
+              t.cache_hits <- t.cache_hits + 1;
+              Metrics.incr m_cache_hits
           | Pipeline.Cache_miss | Pipeline.Cache_corrupt _
           | Pipeline.Cache_off ->
-              t.compiled <- t.compiled + 1)
+              t.compiled <- t.compiled + 1;
+              Metrics.incr m_compiled)
       | Error d ->
           t.failures <- t.failures + 1;
+          Metrics.incr m_failures;
           Ctx.emit t.ctx d);
       id)
 
@@ -136,8 +151,15 @@ let batch ?jobs ?trace (t : t) (specs : Spec.t list) : Batch.result =
   let t0 = Unix.gettimeofday () in
   let r = Batch.run ?jobs ?trace t.ctx specs in
   let wall_s = Unix.gettimeofday () -. t0 in
+  let n = List.length r.Batch.items in
+  Metrics.add m_requests n;
+  Metrics.add m_cache_hits r.Batch.hits;
+  Metrics.add m_compiled (r.Batch.misses + r.Batch.corrupt + r.Batch.uncached);
+  Metrics.add m_failures r.Batch.failed;
+  List.iter
+    (fun (it : Batch.item) -> Metrics.observe m_request_ms (it.Batch.wall_s *. 1e3))
+    r.Batch.items;
   Mutex.protect t.lock (fun () ->
-      let n = List.length r.Batch.items in
       t.next_id <- t.next_id + n;
       t.requests <- t.requests + n;
       t.cache_hits <- t.cache_hits + r.Batch.hits;
@@ -158,14 +180,31 @@ let stats (t : t) : stats =
         scl = Scl.stats (Ctx.scl t.ctx);
       })
 
-(** [describe t] — the cumulative service counters as one line. *)
+(** [describe t] — the cumulative service counters as one line,
+    including the request-latency p50/p99 from the metrics registry. *)
 let describe (t : t) : string =
   let s = stats t in
+  let latency =
+    if Metrics.histogram_count m_request_ms = 0 then ""
+    else
+      Printf.sprintf "; req p50 %.1f ms / p99 %.1f ms"
+        (Metrics.quantile m_request_ms 0.5)
+        (Metrics.quantile m_request_ms 0.99)
+  in
   Printf.sprintf
     "service: %d request(s) — %d cache hit(s), %d compiled, %d failed, \
-     %.2f s; scl memo: %s"
+     %.2f s; scl memo: %s%s"
     s.requests s.cache_hits s.compiled s.failures s.wall_s
-    (Scl.describe_stats s.scl)
+    (Scl.describe_stats s.scl) latency
+
+(** [metrics _t] — the process-wide metrics registry as the one-page
+    human table ({!Metrics.render}): the serving-side answer to "where
+    did this service spend its time". *)
+let metrics (_ : t) : string = Metrics.render ()
+
+(** [metrics_json _t] — the registry as JSON ({!Metrics.to_json}), the
+    same document [--metrics-out] writes. *)
+let metrics_json (_ : t) : string = Metrics.to_json ()
 
 (** [close t] — persist the warmed SCL LUT if the context names a CSV
     ({!Ctx.save_scl}); the compile cache needs no closing (entries are

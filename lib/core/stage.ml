@@ -51,6 +51,15 @@ let execute ?trace ?inject (s : ('a, 'b) t) (x : 'a) :
     else s.run x
   in
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  (* Per-stage registry instruments, keyed by stage name. Run/failure
+     counts are jobs- and engine-invariant, so they are deterministic;
+     the latency histogram is too, because only its observation count
+     (not the wall-clock buckets) enters the fingerprint. *)
+  Metrics.incr (Metrics.counter ("stage." ^ s.name ^ ".runs"));
+  (match outcome with
+  | Error _ -> Metrics.incr (Metrics.counter ("stage." ^ s.name ^ ".fail"))
+  | Ok _ -> ());
+  Metrics.observe (Metrics.histogram ("stage." ^ s.name ^ ".wall_ms")) wall_ms;
   (match trace with
   | None -> ()
   | Some tr ->

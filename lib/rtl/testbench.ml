@@ -516,7 +516,14 @@ let run_stream_packed = Packed_bench.run_stream
     suite pins every sliced engine against). All engines draw one
     identical RNG stream, so the verdict — and any Mismatch payload —
     is engine-independent. *)
+let m_verify_runs = Metrics.counter "signoff.verify_runs"
+let m_macs_checked = Metrics.counter "signoff.macs_checked"
+
 let verify ?(engine : Engine.t = `Packed) (m : Macro_rtl.t) ~seed ~batches =
+  (* Every engine checks the same MACs against the same golden stream,
+     so both counts are engine-invariant: deterministic. *)
+  Metrics.incr m_verify_runs;
+  Metrics.add m_macs_checked (batches * m.cfg.Macro_rtl.mcr);
   match engine with
   | `Scalar -> verify_scalar m ~seed ~batches
   | `Packed -> verify_packed m ~seed ~batches

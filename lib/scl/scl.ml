@@ -39,6 +39,11 @@ let describe_stats (s : stats) =
     s.misses s.entries
     (if s.entries = 1 then "y" else "ies")
 
+(* The double-count race below makes these totals scheduling-dependent,
+   so they are registered nondeterministic. *)
+let m_hits = Metrics.counter ~det:false "cache.scl.hits"
+let m_misses = Metrics.counter ~det:false "cache.scl.misses"
+
 (* Characterization runs outside the lock (it is the expensive part and
    may itself build netlists); two domains racing on a cold key both
    characterize (both counting a miss), and the first insert wins —
@@ -49,9 +54,11 @@ let memo t key f =
         match Hashtbl.find_opt t.table key with
         | Some v ->
             t.hits <- t.hits + 1;
+            Metrics.incr m_hits;
             Some v
         | None ->
             t.misses <- t.misses + 1;
+            Metrics.incr m_misses;
             None)
   with
   | Some v -> v

@@ -215,7 +215,13 @@ let parse_value ~key text : value =
 (* Store                                                               *)
 (* ------------------------------------------------------------------ *)
 
-type stats = { hits : int; misses : int; corrupt : int; stores : int }
+type stats = {
+  hits : int;
+  misses : int;
+  corrupt : int;
+  stores : int;
+  swept : int;  (** stale temp files reaped when the store was opened *)
+}
 
 type t = {
   root : string;
@@ -223,14 +229,57 @@ type t = {
   miss_n : int Atomic.t;
   corrupt_n : int Atomic.t;
   store_n : int Atomic.t;
+  swept_n : int Atomic.t;
   tmp_seq : int Atomic.t;
 }
 
-(** [open_root dir] — open (creating if needed) the store at [dir]. The
-    parent of [dir] must already exist: a typo'd [--cache-dir] should be
-    a one-line error, not a silently created directory tree. *)
+(* Disk-cache outcome counts depend only on what is on disk for the keys
+   asked about, so they are deterministic; the sweep count depends on
+   when a previous writer died, so it is not. *)
+let m_hits = Metrics.counter "cache.disk.hits"
+let m_misses = Metrics.counter "cache.disk.misses"
+let m_corrupt = Metrics.counter "cache.disk.corrupt"
+let m_stores = Metrics.counter "cache.disk.stores"
+let m_swept = Metrics.counter ~det:false "cache.disk.tmp_swept"
+
+(* A temp file is live for the milliseconds between open and rename; one
+   older than this was left by a writer that died mid-store. Generous so
+   a stalled NFS writer is never swept out from under itself. *)
+let stale_temp_age_s = 600.0
+
+(* Reap orphaned [.tmp-*] files a killed writer left behind. Only files
+   with the temp prefix are candidates, and only when their mtime is
+   older than {!stale_temp_age_s} — an in-flight write from a concurrent
+   process keeps its temp. Unlinking races are benign: whoever loses
+   just skips the file. *)
+let sweep_stale_temps (dir : string) : int =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | files ->
+      let now = Unix.gettimeofday () in
+      Array.fold_left
+        (fun acc f ->
+          if String.length f >= 5 && String.sub f 0 5 = ".tmp-" then
+            let path = Filename.concat dir f in
+            match Unix.stat path with
+            | exception Unix.Unix_error _ -> acc
+            | st ->
+                if now -. st.Unix.st_mtime > stale_temp_age_s then
+                  match Sys.remove path with
+                  | () -> acc + 1
+                  | exception Sys_error _ -> acc
+                else acc
+          else acc)
+        0 files
+
+(** [open_root dir] — open (creating if needed) the store at [dir],
+    reaping any stale temp files a previously killed writer orphaned.
+    The parent of [dir] must already exist: a typo'd [--cache-dir]
+    should be a one-line error, not a silently created directory tree. *)
 let open_root (dir : string) : (t, string) Stdlib.result =
   let mk () =
+    let swept = sweep_stale_temps dir in
+    Metrics.add m_swept swept;
     Ok
       {
         root = dir;
@@ -238,6 +287,7 @@ let open_root (dir : string) : (t, string) Stdlib.result =
         miss_n = Atomic.make 0;
         corrupt_n = Atomic.make 0;
         store_n = Atomic.make 0;
+        swept_n = Atomic.make swept;
         tmp_seq = Atomic.make 0;
       }
   in
@@ -277,17 +327,21 @@ let lookup (t : t) (key : string) : lookup =
   with
   | exception Sys_error _ ->
       Atomic.incr t.miss_n;
+      Metrics.incr m_misses;
       Miss
   | exception End_of_file ->
       Atomic.incr t.corrupt_n;
+      Metrics.incr m_corrupt;
       Corrupt "short read"
   | text -> (
       match parse_value ~key text with
       | v ->
           Atomic.incr t.hit_n;
+          Metrics.incr m_hits;
           Hit v
       | exception Bad reason ->
           Atomic.incr t.corrupt_n;
+          Metrics.incr m_corrupt;
           Corrupt reason)
 
 (** [store t key v] — write the entry atomically: a temp file in the
@@ -309,7 +363,9 @@ let store (t : t) (key : string) (v : value) : unit =
       (fun () -> output_string oc (render_value key v));
     Sys.rename tmp path
   with
-  | () -> Atomic.incr t.store_n
+  | () ->
+      Atomic.incr t.store_n;
+      Metrics.incr m_stores
   | exception Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ())
 
 let stats (t : t) : stats =
@@ -318,6 +374,7 @@ let stats (t : t) : stats =
     misses = Atomic.get t.miss_n;
     corrupt = Atomic.get t.corrupt_n;
     stores = Atomic.get t.store_n;
+    swept = Atomic.get t.swept_n;
   }
 
 (** [entry_count t] — complete entries currently on disk. *)
@@ -331,5 +388,8 @@ let entry_count (t : t) : int =
 
 let describe (s : stats) =
   Printf.sprintf
-    "compile cache: %d hits / %d misses (%d corrupt entries replaced), %d stores"
+    "compile cache: %d hits / %d misses (%d corrupt entries replaced), %d \
+     stores%s"
     s.hits s.misses s.corrupt s.stores
+    (if s.swept > 0 then Printf.sprintf ", %d stale temp(s) swept" s.swept
+     else "")

@@ -24,6 +24,12 @@ let combine_stats a b = { hits = a.hits + b.hits; misses = a.misses + b.misses }
 
 let shard_count = 16
 
+(* Nondeterministic by design: two domains racing a cold key both count
+   a miss (the "rare double-compute race" above), so the totals vary
+   with scheduling and must stay out of the deterministic fingerprint. *)
+let m_hits = Metrics.counter ~det:false "cache.eval.hits"
+let m_misses = Metrics.counter ~det:false "cache.eval.misses"
+
 type t = {
   shards : (string, Design_point.t) Hashtbl.t array;
   locks : Mutex.t array;
@@ -81,10 +87,12 @@ let evaluate (t : t) lib (spec : Spec.t) (cfg : Macro_rtl.config) :
   match Mutex.protect lock (fun () -> Hashtbl.find_opt tbl k) with
   | Some p ->
       Atomic.incr t.hits;
+      Metrics.incr m_hits;
       p
   | None ->
       let p = Design_point.evaluate lib spec cfg in
       Atomic.incr t.misses;
+      Metrics.incr m_misses;
       Mutex.protect lock (fun () ->
           (* keep the first stored point so later hits stay physically
              equal to earlier ones even if two domains raced *)

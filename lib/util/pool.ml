@@ -35,6 +35,18 @@ let default_jobs () =
    nested parallel_map calls detect they are already on a pool domain. *)
 let inside_pool : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
+(* Pool metrics are jobs-dependent by definition, so every instrument is
+   registered nondeterministic and stays out of the test fingerprint. *)
+let m_runs = Metrics.counter ~det:false "pool.runs"
+let m_tasks = Metrics.counter ~det:false "pool.tasks"
+let m_spawned = Metrics.counter ~det:false "pool.domains_spawned"
+
+let m_items_per_domain =
+  Metrics.histogram ~det:false ~buckets:Metrics.size_buckets
+    "pool.items_per_domain"
+
+let m_drain_ms = Metrics.histogram ~det:false "pool.drain_ms"
+
 (* One shared counter hands out indices; results land by index, so output
    order is input order no matter which domain computed what. The first
    failure is kept (with its backtrace) and re-raised after the join; the
@@ -48,24 +60,36 @@ let run_parallel ~jobs f (items : 'a array) : 'b array =
   in
   let worker () =
     Domain.DLS.set inside_pool true;
+    let mine = ref 0 in
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n && Atomic.get failure = None then begin
-        (try results.(i) <- Some (f items.(i))
+        (try
+           results.(i) <- Some (f items.(i));
+           incr mine
          with e ->
            let bt = Printexc.get_raw_backtrace () in
            ignore (Atomic.compare_and_set failure None (Some (e, bt))));
         loop ()
       end
     in
-    loop ()
+    loop ();
+    Metrics.observe m_items_per_domain (float_of_int !mine)
   in
-  let helpers =
-    Array.init (jobs - 1) (fun _ -> Domain.spawn worker)
-  in
+  (* Never spawn more helpers than there are items left for them to
+     claim: 3 items at jobs=16 need 2 helpers (the caller is the third
+     worker), not 15 domains of which 12 exit without ever winning an
+     index; 0 or 1 items need none at all. *)
+  let helper_count = max 0 (min jobs n - 1) in
+  Metrics.incr m_runs;
+  Metrics.add m_tasks n;
+  Metrics.add m_spawned helper_count;
+  let t0 = Unix.gettimeofday () in
+  let helpers = Array.init helper_count (fun _ -> Domain.spawn worker) in
   worker ();
   Domain.DLS.set inside_pool false;
   Array.iter Domain.join helpers;
+  Metrics.observe m_drain_ms ((Unix.gettimeofday () -. t0) *. 1e3);
   match Atomic.get failure with
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None ->

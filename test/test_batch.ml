@@ -304,6 +304,30 @@ let test_concurrent_writers () =
   check_int "exactly one entry" 1 (Disk_cache.entry_count c);
   rm_rf dir
 
+let test_stale_temp_sweep () =
+  (* a writer killed between open_out and rename leaves a .tmp-* orphan;
+     reopening the store must reap old orphans, keep a fresh (possibly
+     in-flight) temp, and never touch complete entries *)
+  let dir = scratch () in
+  let c = open_cache dir in
+  let k = key small_spec in
+  Disk_cache.store c k sample_value;
+  let stale = Filename.concat dir ".tmp-deadbeef-999-0" in
+  write_file stale "torn partial write";
+  (* age it well past the sweep threshold *)
+  Unix.utimes stale 1.0 1.0;
+  let fresh = Filename.concat dir ".tmp-cafef00d-1000-0" in
+  write_file fresh "in-flight write";
+  let c2 = open_cache dir in
+  check_bool "stale temp swept" false (Sys.file_exists stale);
+  check_bool "in-flight temp kept" true (Sys.file_exists fresh);
+  check_int "sweep counted in stats" 1 (Disk_cache.stats c2).Disk_cache.swept;
+  (match Disk_cache.lookup c2 k with
+  | Disk_cache.Hit _ -> ()
+  | Disk_cache.Miss | Disk_cache.Corrupt _ ->
+      Alcotest.fail "complete entry lost to the sweep");
+  rm_rf dir
+
 (* ---------------- manifest parsing and validation ---------------- *)
 
 let one_line d =
@@ -345,6 +369,28 @@ let test_spec_line_errors () =
   bad "prefer=speed";
   bad "rows";
   bad "freq_mhz=fast"
+
+let test_manifest_crlf () =
+  (* a CRLF-edited manifest (comments, blanks, trailing \r on every
+     line) must parse to exactly the specs of its LF twin, keys included *)
+  let unix_text =
+    "# CRLF round-trip\nrows=16 cols=16 freq_mhz=300\n\n"
+    ^ "rows=8 cols=8 mcr=1 freq_mhz=400 prefer=power\n"
+  in
+  let crlf_text =
+    String.concat "\r\n" (String.split_on_char '\n' unix_text)
+  in
+  match (Batch.parse_manifest unix_text, Batch.parse_manifest crlf_text) with
+  | Ok a, Ok b ->
+      check_int "same spec count" (List.length a) (List.length b);
+      check_bool "CRLF parses to identical specs" true (a = b);
+      List.iter2 (fun x y -> check_str "same cache key" (key x) (key y)) a b;
+      (* render -> CRLF -> parse round-trips a canonical line exactly *)
+      (match Batch.parse_manifest (Batch.render_spec_line small_spec ^ "\r\n") with
+      | Ok [ s ] -> check_bool "rendered line survives CRLF" true (s = small_spec)
+      | Ok _ -> Alcotest.fail "rendered line parsed to the wrong spec count"
+      | Error d -> Alcotest.fail (Diag.to_string d))
+  | Error d, _ | _, Error d -> Alcotest.fail (Diag.to_string d)
 
 let test_jobs_validation () =
   (match Batch.validate_jobs 0 with
@@ -437,11 +483,13 @@ let () =
             test_corrupt_entry_recompiled;
           Alcotest.test_case "concurrent writers" `Quick
             test_concurrent_writers;
+          Alcotest.test_case "stale temp sweep" `Quick test_stale_temp_sweep;
         ] );
       ( "validation",
         [
           Alcotest.test_case "manifest errors" `Quick test_manifest_errors;
           Alcotest.test_case "spec line errors" `Quick test_spec_line_errors;
+          Alcotest.test_case "CRLF manifests" `Quick test_manifest_crlf;
           Alcotest.test_case "jobs" `Quick test_jobs_validation;
           Alcotest.test_case "cache dir" `Quick test_cache_dir_validation;
         ] );
